@@ -1,0 +1,285 @@
+// Package anonlead is a library for randomized leader election in
+// anonymous networks, reproducing Kowalski & Mosteiro, "Time and
+// Communication Complexity of Leader Election in Anonymous Networks"
+// (ICDCS 2021, arXiv:2101.04400).
+//
+// The package offers two elections over a synchronous CONGEST simulation
+// of an anonymous network (nodes have no identifiers, only ports):
+//
+//   - Elect: Irrevocable Leader Election for known network size — the
+//     paper's Section 4 protocol (cautious broadcast territories, random
+//     walk probes, convergecast) using Õ(√(n·tmix/Φ)) messages and
+//     O(tmix·log² n) rounds, with high probability.
+//
+//   - ElectRevocable: Revocable ("blind") Leader Election for unknown
+//     network size — the paper's Section 5.2 protocol (Blind Leader
+//     Election with Certificates via Diffusion with Thresholds). By the
+//     paper's Theorem 2 no algorithm can irrevocably elect without knowing
+//     the size, so the returned leader is a stabilized revocable choice.
+//
+// Topologies come from NewNetwork (named families) or NewNetworkFromEdges
+// (custom edge lists). Every election is deterministic in the provided
+// seed.
+//
+// Quick start:
+//
+//	nw, err := anonlead.NewNetwork("expander", 256, 1)
+//	if err != nil { ... }
+//	res, err := nw.Elect(anonlead.WithSeed(42))
+//	if err != nil { ... }
+//	fmt.Println(res.Unique, res.Leaders, res.Messages)
+package anonlead
+
+import (
+	"fmt"
+
+	"anonlead/internal/core"
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+	"anonlead/internal/sim"
+	"anonlead/internal/spectral"
+)
+
+// Network is an anonymous network instance: a connected topology plus its
+// structural profile (diameter, mixing time, conductance, isoperimetric
+// number). Construct with NewNetwork or NewNetworkFromEdges. A Network is
+// immutable and safe for concurrent elections.
+type Network struct {
+	g    *graph.Graph
+	prof *spectral.Profile
+}
+
+// Families returns the topology family names accepted by NewNetwork:
+// cycle, path, complete, star, grid, torus, hypercube, tree, barbell,
+// lollipop, regular, regular3, regular6, expander, gnp.
+func Families() []string { return graph.FamilyNames() }
+
+// NewNetwork builds a named topology family instance on n nodes. Random
+// families (regular, gnp, expander) are drawn deterministically from seed.
+func NewNetwork(family string, n int, seed uint64) (*Network, error) {
+	g, err := graph.ByName(family, n, rng.New(seed).SplitString("family:"+family))
+	if err != nil {
+		return nil, err
+	}
+	return newNetwork(g)
+}
+
+// NewNetworkFromEdges builds a network from an explicit undirected edge
+// list over nodes 0..n-1. The graph must be connected and simple.
+func NewNetworkFromEdges(n int, edges [][2]int) (*Network, error) {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return newNetwork(b.Graph())
+}
+
+func newNetwork(g *graph.Graph) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := spectral.ProfileGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g, prof: prof}, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.g.N() }
+
+// M returns the number of links.
+func (nw *Network) M() int { return nw.g.M() }
+
+// Stats returns the network's structural profile.
+func (nw *Network) Stats() NetworkStats {
+	return NetworkStats{
+		N:             nw.prof.N,
+		M:             nw.prof.M,
+		Diameter:      nw.prof.Diameter,
+		MixingTime:    nw.prof.MixingTime,
+		Conductance:   nw.prof.Conductance,
+		Isoperimetric: nw.prof.Isoperim,
+		SpectralGap:   nw.prof.SpectralGap,
+	}
+}
+
+// NetworkStats summarizes the structural quantities the protocols are
+// parameterized by.
+type NetworkStats struct {
+	N             int
+	M             int
+	Diameter      int
+	MixingTime    int
+	Conductance   float64
+	Isoperimetric float64
+	SpectralGap   float64
+}
+
+// Elect runs Irrevocable Leader Election (known network size) and returns
+// the outcome. With default options the protocol parameters follow the
+// paper with the calibration constants recorded in EXPERIMENTS.md; the
+// election succeeds (exactly one leader) with high probability.
+func (nw *Network) Elect(opts ...Option) (Result, error) {
+	o := buildOptions(opts)
+	cfg := core.IREConfig{
+		N:       nw.g.N(),
+		TMix:    o.mixingTime,
+		Phi:     o.conductance,
+		C:       o.constant,
+		X:       o.walks,
+		XFactor: o.walkFactor,
+	}
+	if cfg.TMix == 0 {
+		cfg.TMix = nw.prof.MixingTime
+	}
+	if cfg.Phi == 0 {
+		cfg.Phi = nw.prof.Conductance
+	}
+	factory, err := core.NewIREFactory(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	net := sim.New(sim.Config{Graph: nw.g, Seed: o.seed, Parallel: o.parallel}, factory)
+	_, _, _, _, total := net.Machine(0).(*core.IREMachine).Params()
+	rounds := net.Run(total + 4)
+	if !net.AllHalted() {
+		return Result{}, fmt.Errorf("anonlead: protocol did not halt within %d rounds", total+4)
+	}
+	res := Result{Rounds: rounds}
+	fillMetrics(&res, net.Metrics())
+	for v := 0; v < nw.g.N(); v++ {
+		if net.Machine(v).(*core.IREMachine).Output().Leader {
+			res.Leaders = append(res.Leaders, v)
+		}
+	}
+	res.Unique = len(res.Leaders) == 1
+	return res, nil
+}
+
+// ElectExplicit runs explicit Irrevocable Leader Election: the implicit
+// Section 4 protocol followed by a leader announcement flood that makes
+// every node learn the leader and simultaneously builds a leader-rooted
+// BFS spanning tree (the paper's Section 3 extension). The extra cost over
+// Elect is at most 2m messages and n rounds.
+func (nw *Network) ElectExplicit(opts ...Option) (ExplicitResult, error) {
+	o := buildOptions(opts)
+	cfg := core.ExplicitConfig{IRE: core.IREConfig{
+		N:       nw.g.N(),
+		TMix:    o.mixingTime,
+		Phi:     o.conductance,
+		C:       o.constant,
+		X:       o.walks,
+		XFactor: o.walkFactor,
+	}}
+	if cfg.IRE.TMix == 0 {
+		cfg.IRE.TMix = nw.prof.MixingTime
+	}
+	if cfg.IRE.Phi == 0 {
+		cfg.IRE.Phi = nw.prof.Conductance
+	}
+	factory, err := core.NewExplicitFactory(cfg)
+	if err != nil {
+		return ExplicitResult{}, err
+	}
+	net := sim.New(sim.Config{Graph: nw.g, Seed: o.seed, Parallel: o.parallel}, factory)
+	total := net.Machine(0).(*core.ExplicitMachine).TotalRounds()
+	rounds := net.Run(total + 4)
+	if !net.AllHalted() {
+		return ExplicitResult{}, fmt.Errorf("anonlead: explicit protocol did not halt within %d rounds", total+4)
+	}
+	res := ExplicitResult{
+		Result:  Result{Rounds: rounds},
+		Parents: make([]int, nw.g.N()),
+		Depths:  make([]int, nw.g.N()),
+	}
+	fillMetrics(&res.Result, net.Metrics())
+	res.AllKnow = true
+	for v := 0; v < nw.g.N(); v++ {
+		out := net.Machine(v).(*core.ExplicitMachine).Output()
+		if out.IRE.Leader {
+			res.Leaders = append(res.Leaders, v)
+			res.LeaderID = out.IRE.ID
+		}
+		if !out.KnowsLeader {
+			res.AllKnow = false
+		}
+		res.Depths[v] = out.Depth
+		if out.ParentPort >= 0 {
+			res.Parents[v] = nw.g.Neighbor(v, out.ParentPort)
+		} else {
+			res.Parents[v] = -1
+		}
+	}
+	res.Unique = len(res.Leaders) == 1
+	return res, nil
+}
+
+// ElectRevocable runs Revocable Leader Election (unknown network size)
+// until the stabilization point guaranteed by the paper's Theorem 3 (all
+// nodes chose certified IDs, all agree on the leader certificate, and the
+// size estimate passed 4n) and returns the stabilized outcome.
+func (nw *Network) ElectRevocable(opts ...Option) (RevocableResult, error) {
+	o := buildOptions(opts)
+	cfg := core.RevocableConfig{
+		Epsilon:       o.epsilon,
+		Xi:            o.xi,
+		Isoperimetric: o.isoperimetric,
+		FMult:         o.fMult,
+		RMult:         o.rMult,
+	}
+	factory, err := core.NewRevocableFactory(cfg)
+	if err != nil {
+		return RevocableResult{}, err
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.5
+	}
+	maxRounds := o.maxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200_000_000
+	}
+	net := sim.New(sim.Config{Graph: nw.g, Seed: o.seed, Parallel: o.parallel}, factory)
+	stable := func() bool { return revocableStable(net, eps) }
+	rounds := net.RunUntil(maxRounds, func(completed int) bool {
+		return completed%64 == 0 && stable()
+	})
+	if !stable() {
+		return RevocableResult{}, fmt.Errorf("anonlead: revocable election did not stabilize within %d rounds", rounds)
+	}
+	res := RevocableResult{Result: Result{Rounds: rounds}}
+	fillMetrics(&res.Result, net.Metrics())
+	for v := 0; v < nw.g.N(); v++ {
+		out := net.Machine(v).(*core.RevocableMachine).Output()
+		if out.Leader {
+			res.Leaders = append(res.Leaders, v)
+		}
+		if v == 0 {
+			res.Certificate = Certificate{ID: out.LeaderID, Estimate: out.LeaderK}
+			res.FinalEstimate = out.EstimateK
+		}
+	}
+	res.Unique = len(res.Leaders) == 1
+	res.Result.Rounds = rounds
+	return res, nil
+}
+
+// revocableStable is the Theorem 3 stabilization predicate.
+func revocableStable(net *sim.Network, eps float64) bool {
+	n := net.N()
+	first := net.Machine(0).(*core.RevocableMachine).Output()
+	if !first.Chosen || first.LeaderK == 0 {
+		return false
+	}
+	if pow1e(float64(first.EstimateK), eps) <= 4*float64(n) {
+		return false
+	}
+	for v := 1; v < n; v++ {
+		o := net.Machine(v).(*core.RevocableMachine).Output()
+		if !o.Chosen || o.LeaderK != first.LeaderK || o.LeaderID != first.LeaderID {
+			return false
+		}
+	}
+	return true
+}

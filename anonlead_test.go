@@ -1,0 +1,274 @@
+package anonlead
+
+import (
+	"testing"
+)
+
+func TestNewNetworkFamilies(t *testing.T) {
+	for _, family := range Families() {
+		nw, err := NewNetwork(family, 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if nw.N() == 0 || nw.M() == 0 {
+			t.Fatalf("%s: degenerate network", family)
+		}
+		stats := nw.Stats()
+		if stats.MixingTime < 1 || stats.Conductance <= 0 || stats.Isoperimetric <= 0 {
+			t.Fatalf("%s: degenerate stats %+v", family, stats)
+		}
+	}
+}
+
+func TestNewNetworkUnknownFamily(t *testing.T) {
+	if _, err := NewNetwork("nosuch", 8, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestNewNetworkFromEdges(t *testing.T) {
+	nw, err := NewNetworkFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 4 || nw.M() != 4 {
+		t.Fatalf("n=%d m=%d", nw.N(), nw.M())
+	}
+	if nw.Stats().Diameter != 2 {
+		t.Fatalf("diameter %d", nw.Stats().Diameter)
+	}
+}
+
+func TestNewNetworkFromEdgesRejectsDisconnected(t *testing.T) {
+	if _, err := NewNetworkFromEdges(4, [][2]int{{0, 1}, {2, 3}}); err == nil {
+		t.Fatal("disconnected edges accepted")
+	}
+}
+
+func TestElectUnique(t *testing.T) {
+	nw, err := NewNetwork("complete", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	const trials = 10
+	for s := uint64(0); s < trials; s++ {
+		res, err := nw.Elect(WithSeed(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Unique {
+			wins++
+			if res.LeaderCount() != 1 {
+				t.Fatal("Unique true but LeaderCount != 1")
+			}
+		}
+		if res.Messages <= 0 || res.Rounds <= 0 || res.ChargedRounds <= 0 || res.Bits <= 0 {
+			t.Fatalf("degenerate cost accounting: %+v", res)
+		}
+	}
+	if wins < 8 {
+		t.Fatalf("unique rate %d/%d", wins, trials)
+	}
+}
+
+func TestElectDeterministic(t *testing.T) {
+	nw, err := NewNetwork("torus", 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := nw.Elect(WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := nw.Elect(WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Leaders) != len(r2.Leaders) || r1.Messages != r2.Messages || r1.Rounds != r2.Rounds {
+		t.Fatalf("same seed diverged: %+v vs %+v", r1, r2)
+	}
+	for i := range r1.Leaders {
+		if r1.Leaders[i] != r2.Leaders[i] {
+			t.Fatal("leaders differ")
+		}
+	}
+}
+
+func TestElectParallelMatchesSequential(t *testing.T) {
+	nw, err := NewNetwork("torus", 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := nw.Elect(WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := nw.Elect(WithSeed(4), WithParallel(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Messages != par.Messages || len(seq.Leaders) != len(par.Leaders) {
+		t.Fatalf("schedulers diverged: %+v vs %+v", seq, par)
+	}
+}
+
+func TestElectOptionOverrides(t *testing.T) {
+	nw, err := NewNetwork("complete", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavier constant => more work.
+	light, err := nw.Elect(WithSeed(3), WithConstant(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := nw.Elect(WithSeed(3), WithConstant(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Messages <= light.Messages {
+		t.Fatalf("constant override had no effect: %d vs %d", heavy.Messages, light.Messages)
+	}
+	// Explicit walk count.
+	if _, err := nw.Elect(WithSeed(3), WithWalks(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Manual tmix/phi inputs (linear upper bounds are allowed).
+	if _, err := nw.Elect(WithSeed(3), WithMixingTime(8), WithConductance(0.4)); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid conductance must surface as an error.
+	if _, err := nw.Elect(WithSeed(3), WithConductance(2)); err == nil {
+		t.Fatal("invalid conductance accepted")
+	}
+}
+
+func TestElectRevocableStabilizes(t *testing.T) {
+	nw, err := NewNetwork("complete", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.ElectRevocable(
+		WithSeed(2),
+		WithIsoperimetric(nw.Stats().Isoperimetric),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatalf("revocable election not unique: %+v", res)
+	}
+	if res.Certificate.Estimate == 0 || res.Certificate.ID == 0 {
+		t.Fatalf("empty certificate: %+v", res.Certificate)
+	}
+	if res.FinalEstimate < res.Certificate.Estimate {
+		t.Fatal("final estimate below certificate estimate")
+	}
+}
+
+func TestElectRevocableCalibrated(t *testing.T) {
+	nw, err := NewNetwork("cycle", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.ElectRevocable(
+		WithSeed(5),
+		WithIsoperimetric(nw.Stats().Isoperimetric),
+		WithCalibration(0.5, 0.05),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatalf("calibrated revocable election not unique: %+v", res)
+	}
+}
+
+func TestElectRevocableMaxRounds(t *testing.T) {
+	nw, err := NewNetwork("complete", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.ElectRevocable(WithSeed(1), WithMaxRounds(10)); err == nil {
+		t.Fatal("expected stabilization failure with tiny round budget")
+	}
+}
+
+func TestElectRevocableInvalidEpsilon(t *testing.T) {
+	nw, err := NewNetwork("complete", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.ElectRevocable(WithSeed(1), WithEpsilon(2)); err == nil {
+		t.Fatal("invalid epsilon accepted")
+	}
+}
+
+func TestCertificateOrdering(t *testing.T) {
+	a := Certificate{ID: 5, Estimate: 8}
+	b := Certificate{ID: 3, Estimate: 8}
+	c := Certificate{ID: 100, Estimate: 16}
+	if !a.Less(b) {
+		t.Fatal("same estimate: smaller ID should win")
+	}
+	if b.Less(a) {
+		t.Fatal("ordering not antisymmetric")
+	}
+	if !a.Less(c) || !b.Less(c) {
+		t.Fatal("larger estimate should win")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	nw, err := NewNetwork("hypercube", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.N != 16 || s.M != 32 || s.Diameter != 4 {
+		t.Fatalf("hypercube stats %+v", s)
+	}
+	if s.SpectralGap <= 0 || s.SpectralGap >= 1 {
+		t.Fatalf("gap %v", s.SpectralGap)
+	}
+}
+
+func TestElectExplicit(t *testing.T) {
+	nw, err := NewNetwork("torus", 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint64(0); s < 5; s++ {
+		res, err := nw.ElectExplicit(WithSeed(100 + s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Unique {
+			continue
+		}
+		if !res.AllKnow {
+			t.Fatal("announcement did not reach every node")
+		}
+		if res.LeaderID == 0 {
+			t.Fatal("leader ID missing")
+		}
+		leader := res.Leaders[0]
+		if res.Parents[leader] != -1 || res.Depths[leader] != 0 {
+			t.Fatalf("leader tree fields wrong: parent=%d depth=%d", res.Parents[leader], res.Depths[leader])
+		}
+		// Walking parents from any node reaches the leader.
+		for v := 0; v < nw.N(); v++ {
+			cur, hops := v, 0
+			for cur != leader {
+				cur = res.Parents[cur]
+				if cur < 0 || hops > nw.N() {
+					t.Fatalf("broken parent chain from %d", v)
+				}
+				hops++
+			}
+		}
+		return
+	}
+	t.Fatal("no unique election across seeds")
+}

@@ -1,0 +1,264 @@
+// Benchmarks regenerating every evaluation artifact of the paper
+// (Table 1 cells, Figures 1-2, and the DESIGN.md ablations X1-X3).
+// Each benchmark runs full protocol executions and reports, besides
+// wall-clock, the protocol-level costs the paper bounds: messages, bits,
+// logical rounds and CONGEST-charged rounds per election.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The mapping from benchmarks to paper artifacts is indexed in DESIGN.md
+// §4 and the measured-vs-paper discussion lives in EXPERIMENTS.md.
+package anonlead
+
+import (
+	"fmt"
+	"testing"
+
+	"anonlead/internal/baseline"
+	"anonlead/internal/core"
+	"anonlead/internal/graph"
+	"anonlead/internal/harness"
+	"anonlead/internal/spectral"
+)
+
+// benchCell prepares a profiled workload graph for benchmarks.
+func benchCell(b *testing.B, family string, n int) (*graph.Graph, *spectral.Profile) {
+	b.Helper()
+	w := harness.Workload{Family: family, N: n}
+	g, err := w.BuildGraph(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := spectral.ProfileGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, prof
+}
+
+// reportTrial attaches protocol-cost metrics to the benchmark output.
+func reportTrial(b *testing.B, sumMsgs, sumBits, sumRounds, sumCharged float64) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(sumMsgs/n, "msgs/election")
+	b.ReportMetric(sumBits/n, "bits/election")
+	b.ReportMetric(sumRounds/n, "rounds/election")
+	b.ReportMetric(sumCharged/n, "charged/election")
+}
+
+// BenchmarkTable1IRE measures the paper's Section 4 protocol (Table 1 row
+// "n, Φ, tmix — this work": Õ(√(n·tmix/Φ)) msgs, O(tmix·log² n) time).
+func BenchmarkTable1IRE(b *testing.B) {
+	cells := []struct {
+		family string
+		n      int
+	}{
+		{"expander", 64}, {"expander", 128}, {"expander", 256},
+		{"hypercube", 64}, {"hypercube", 256},
+		{"cycle", 32}, {"cycle", 64},
+		{"complete", 64}, {"complete", 128},
+		{"torus", 64},
+	}
+	for _, c := range cells {
+		b.Run(fmt.Sprintf("%s/n=%d", c.family, c.n), func(b *testing.B) {
+			g, prof := benchCell(b, c.family, c.n)
+			cfg := core.IREConfig{N: g.N(), TMix: prof.MixingTime, Phi: prof.Conductance}
+			var msgs, bits, rounds, charged float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial, err := harness.RunIRETrial(g, cfg, uint64(i)+1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += float64(trial.Metrics.Messages)
+				bits += float64(trial.Metrics.Bits)
+				rounds += float64(trial.Rounds)
+				charged += float64(trial.Metrics.ChargedRounds)
+			}
+			reportTrial(b, msgs, bits, rounds, charged)
+		})
+	}
+}
+
+// BenchmarkTable1Gilbert measures the Gilbert-class baseline (Table 1 row
+// "n [10]": O(tmix·√n·log^{7/2} n) msgs).
+func BenchmarkTable1Gilbert(b *testing.B) {
+	cells := []struct {
+		family string
+		n      int
+	}{
+		{"expander", 64}, {"expander", 128}, {"expander", 256},
+		{"cycle", 32}, {"cycle", 64},
+		{"complete", 64}, {"complete", 128},
+	}
+	for _, c := range cells {
+		b.Run(fmt.Sprintf("%s/n=%d", c.family, c.n), func(b *testing.B) {
+			g, prof := benchCell(b, c.family, c.n)
+			cfg := baseline.WalkNotifyConfig{N: g.N(), TMix: prof.MixingTime}
+			var msgs, bits, rounds, charged float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial, err := harness.RunWalkNotifyTrial(g, cfg, uint64(i)+1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += float64(trial.Metrics.Messages)
+				bits += float64(trial.Metrics.Bits)
+				rounds += float64(trial.Rounds)
+				charged += float64(trial.Metrics.ChargedRounds)
+			}
+			reportTrial(b, msgs, bits, rounds, charged)
+		})
+	}
+}
+
+// BenchmarkTable1Flood measures the Kutten-class flooding baseline
+// (Table 1 rows "n, D [16]": O(m) msgs, O(D) time).
+func BenchmarkTable1Flood(b *testing.B) {
+	cells := []struct {
+		family string
+		n      int
+	}{
+		{"expander", 64}, {"expander", 256},
+		{"cycle", 64}, {"complete", 64}, {"complete", 256},
+	}
+	for _, c := range cells {
+		b.Run(fmt.Sprintf("%s/n=%d", c.family, c.n), func(b *testing.B) {
+			g, prof := benchCell(b, c.family, c.n)
+			cfg := baseline.FloodConfig{N: g.N(), Diam: prof.Diameter}
+			var msgs, bits, rounds, charged float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial, err := harness.RunFloodTrial(g, cfg, uint64(i)+1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += float64(trial.Metrics.Messages)
+				bits += float64(trial.Metrics.Bits)
+				rounds += float64(trial.Rounds)
+				charged += float64(trial.Metrics.ChargedRounds)
+			}
+			reportTrial(b, msgs, bits, rounds, charged)
+		})
+	}
+}
+
+// BenchmarkTable1Revocable measures the Section 5.2 protocol at the
+// faithful Theorem 3 schedule on tiny complete graphs (Table 1 revocable
+// rows (*)). The polynomial schedules bound what is simulable; see
+// EXPERIMENTS.md.
+func BenchmarkTable1Revocable(b *testing.B) {
+	for _, n := range []int{3, 4, 6} {
+		b.Run(fmt.Sprintf("complete/n=%d", n), func(b *testing.B) {
+			g, prof := benchCell(b, "complete", n)
+			cfg := core.RevocableConfig{Epsilon: 0.5, Isoperimetric: prof.Isoperim}
+			var msgs, bits, rounds, charged float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial, err := harness.RunRevocableTrial(g, cfg, uint64(i)+1, 0, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += float64(trial.Metrics.Messages)
+				bits += float64(trial.Metrics.Bits)
+				rounds += float64(trial.Rounds)
+				charged += float64(trial.Metrics.ChargedRounds)
+			}
+			reportTrial(b, msgs, bits, rounds, charged)
+		})
+	}
+}
+
+// BenchmarkFigure1PumpingWheel measures one wheel execution of the
+// impossibility experiment (Figure 1 witness construction): the known-n
+// protocol told n=8 running on a wheel with the given witness count.
+func BenchmarkFigure1PumpingWheel(b *testing.B) {
+	for _, witnesses := range []int{1, 2} {
+		b.Run(fmt.Sprintf("witnesses=%d", witnesses), func(b *testing.B) {
+			leaders := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, err := harness.SplitBrainExperiment(8, []int{witnesses}, 1, uint64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				leaders += int(points[0].MeanLeaders)
+			}
+			b.ReportMetric(float64(leaders)/float64(b.N), "leaders/wheel")
+		})
+	}
+}
+
+// BenchmarkFigure2SplitBrain measures the Figure 2 series point: the
+// multi-leader probability estimate over a small trial batch.
+func BenchmarkFigure2SplitBrain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := harness.SplitBrainExperiment(8, []int{2}, 3, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(points[0].MultiLeader)/float64(points[0].Trials), "P(multi)")
+		b.ReportMetric(points[0].MeanLeaders, "E[leaders]")
+	}
+}
+
+// BenchmarkAblationCautious measures cautious broadcast in isolation
+// (DESIGN.md X1, paper Lemma 1).
+func BenchmarkAblationCautious(b *testing.B) {
+	for _, x := range []int{4, 16} {
+		b.Run(fmt.Sprintf("x=%d", x), func(b *testing.B) {
+			w := harness.Workload{Family: "expander", N: 128}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, _, err := harness.AblationCautious(w, []int{x}, 1, uint64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(points[0].MeanTerritory, "territory")
+				b.ReportMetric(points[0].Messages, "msgs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWalks measures the full protocol at sub- and
+// super-critical walk counts (DESIGN.md X2, paper Lemma 2).
+func BenchmarkAblationWalks(b *testing.B) {
+	for _, factor := range []float64{0.5, 1, 2} {
+		b.Run(fmt.Sprintf("factor=%g", factor), func(b *testing.B) {
+			g, prof := benchCell(b, "expander", 128)
+			cfg := core.IREConfig{
+				N: g.N(), TMix: prof.MixingTime, Phi: prof.Conductance, XFactor: factor,
+			}
+			success := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trial, err := harness.RunIRETrial(g, cfg, uint64(i)+1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if trial.Success {
+					success++
+				}
+			}
+			b.ReportMetric(float64(success)/float64(b.N), "successRate")
+		})
+	}
+}
+
+// BenchmarkAblationDiffusion measures the exact diffusion detector sweep
+// (DESIGN.md X3, paper Lemmas 5-8).
+func BenchmarkAblationDiffusion(b *testing.B) {
+	w := harness.Workload{Family: "cycle", N: 12}
+	for i := 0; i < b.N; i++ {
+		points, err := harness.AblationDiffusion(w, 0.5, 32, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.MaxPot, "maxPotential")
+	}
+}

@@ -1,0 +1,189 @@
+// Command lebench regenerates the paper's evaluation artifacts: every
+// Table 1 cell (measured on the CONGEST simulator and compared to the
+// paper's complexity formulas), the Figures 1-2 pumping-wheel
+// impossibility series, and the design ablations indexed in DESIGN.md.
+//
+// Usage:
+//
+//	lebench -exp table1            # all Table 1 rows
+//	lebench -exp figures           # pumping-wheel split-brain series
+//	lebench -exp ablations         # X1-X3 design ablations
+//	lebench -exp all -quick        # everything, reduced sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonlead/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, figures, ablations, all")
+		quick  = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+		trials = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
+		seed   = flag.Uint64("seed", 1, "root random seed")
+	)
+	flag.Parse()
+
+	switch *exp {
+	case "table1":
+		return table1(*quick, *trials, *seed)
+	case "figures":
+		return figures(*quick, *trials, *seed)
+	case "ablations":
+		return ablations(*quick, *trials, *seed)
+	case "all":
+		if err := table1(*quick, *trials, *seed); err != nil {
+			return err
+		}
+		if err := figures(*quick, *trials, *seed); err != nil {
+			return err
+		}
+		return ablations(*quick, *trials, *seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+func pick(quick bool, full, reduced []int) []int {
+	if quick {
+		return reduced
+	}
+	return full
+}
+
+func pickTrials(override, def int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}
+
+// table1 regenerates the Table 1 rows: T1-a (IRE), T1-b (Gilbert-class),
+// T1-c (flooding class), T1-d (revocable).
+func table1(quick bool, trialsOverride int, seed uint64) error {
+	trials := pickTrials(trialsOverride, 10)
+	if quick {
+		trials = pickTrials(trialsOverride, 5)
+	}
+	type sweep struct {
+		title  string
+		proto  harness.Protocol
+		family string
+		sizes  []int
+	}
+	sweeps := []sweep{
+		{"T1-a IRE (this work) on expanders", harness.ProtoIRE, "expander",
+			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+		{"T1-a IRE (this work) on hypercubes", harness.ProtoIRE, "hypercube",
+			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+		{"T1-a IRE (this work) on cycles", harness.ProtoIRE, "cycle",
+			pick(quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
+		{"T1-a IRE (this work) on complete graphs", harness.ProtoIRE, "complete",
+			pick(quick, []int{32, 64, 128, 256}, []int{32, 64})},
+		{"T1-b Gilbert-class baseline on expanders", harness.ProtoWalkNotify, "expander",
+			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+		{"T1-b Gilbert-class baseline on cycles", harness.ProtoWalkNotify, "cycle",
+			pick(quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
+		{"T1-c FloodMax (Kutten-class) on expanders", harness.ProtoFlood, "expander",
+			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+		{"T1-c FloodMax (Kutten-class) on complete graphs", harness.ProtoFlood, "complete",
+			pick(quick, []int{32, 64, 128, 256}, []int{32, 64})},
+	}
+	for _, s := range sweeps {
+		rows, err := harness.Table1Sweep(s.proto, s.family, s.sizes, harness.TrialOpts{
+			Trials: trials, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderTable1(s.title, rows))
+	}
+	return revocableRows(quick, trialsOverride, seed)
+}
+
+// revocableRows regenerates T1-d: the revocable protocol at faithful
+// parameters on tiny complete graphs (where the Theorem 3 polynomials are
+// simulable) and calibrated on cycles.
+func revocableRows(quick bool, trialsOverride int, seed uint64) error {
+	trials := pickTrials(trialsOverride, 5)
+	if quick {
+		trials = pickTrials(trialsOverride, 2)
+	}
+	sweepSizes := pick(quick, []int{3, 4, 6, 8}, []int{3, 4})
+	rows := make([]harness.Table1Row, 0, len(sweepSizes))
+	for _, n := range sweepSizes {
+		w := harness.Workload{Family: "complete", N: n}
+		// The profile's exact i(G) selects the Theorem 3 schedule.
+		c, err := harness.RunCell(harness.ProtoRevocable, w, harness.TrialOpts{
+			Trials: trials, Seed: seed, RevocableUseProfileIso: true,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, harness.MakeTable1Row(harness.ProtoRevocable, c))
+	}
+	fmt.Println(harness.RenderTable1("T1-d Revocable LE (this work, faithful Theorem 3 schedule) on complete graphs", rows))
+	return nil
+}
+
+// figures regenerates the Figures 1-2 pumping-wheel series.
+func figures(quick bool, trialsOverride int, seed uint64) error {
+	trials := pickTrials(trialsOverride, 20)
+	witnesses := []int{1, 2, 4, 8}
+	presumed := 12
+	if quick {
+		trials = pickTrials(trialsOverride, 8)
+		witnesses = []int{1, 2, 4}
+	}
+	points, err := harness.SplitBrainExperiment(presumed, witnesses, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderSplitBrain(presumed, points))
+	return nil
+}
+
+// ablations regenerates the X1-X3 design ablations.
+func ablations(quick bool, trialsOverride int, seed uint64) error {
+	trials := pickTrials(trialsOverride, 10)
+	if quick {
+		trials = pickTrials(trialsOverride, 4)
+	}
+
+	w := harness.Workload{Family: "expander", N: 128}
+	if quick {
+		w.N = 64
+	}
+	xs := []int{1, 2, 4, 8, 16, 32}
+	points, prof, err := harness.AblationCautious(w, xs, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderAblationCautious(w, prof, points))
+
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	wpoints, prof2, err := harness.AblationWalks(w, factors, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderAblationWalks(w, prof2, wpoints))
+
+	dw := harness.Workload{Family: "cycle", N: 16}
+	dpoints, err := harness.AblationDiffusion(dw, 0.5, 64, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderAblationDiffusion(dw, dpoints))
+	return nil
+}

@@ -1,0 +1,33 @@
+// Impossibility: watch Theorem 2 break a terminating election.
+//
+// The paper proves that without knowing the network size, no algorithm can
+// elect a single leader and stop. This example makes the proof's
+// pumping-wheel construction concrete: the known-size protocol is told
+// n=10 but actually runs on ever larger cycles assembled from "witnesses"
+// (Figure 1); local executions cannot distinguish the small cycle from the
+// wheel within their time bound, so multiple regions elect leaders —
+// uniqueness collapses exactly as Theorem 2 predicts.
+//
+//	go run ./examples/impossibility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonlead/internal/harness"
+)
+
+func main() {
+	const presumedN = 10
+	points, err := harness.SplitBrainExperiment(presumedN, []int{1, 2, 4}, 10, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(harness.RenderSplitBrain(presumedN, points))
+	fmt.Println()
+	fmt.Println("reading: every wheel elects many leaders; E[leaders] grows linearly in")
+	fmt.Println("the number of planted witnesses because 2T(n)-separated regions run")
+	fmt.Println("independent executions (the Figure 2 invariant). An irrevocable")
+	fmt.Println("election that must stop by T(n) cannot ever be safe without knowing n.")
+}

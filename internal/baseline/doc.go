@@ -1,0 +1,19 @@
+// Package baseline implements the comparator protocols for the Table 1
+// experiments. The originals are closed-source theory constructions, so
+// the implementations here are shape-faithful reconstructions from the
+// published descriptions (documented per type); they exercise the same
+// simulator and accounting as the paper's protocols, so message/time
+// ratios against internal/core are meaningful.
+//
+//   - FloodMax: the Ω(m)-message / O(D)-time class (Kutten et al., J.ACM
+//     2015, Table 1 rows "n, D"): random IDs, candidate sampling, global
+//     max-ID flooding.
+//   - AllFlood: the naive variant where every node floods (no candidate
+//     sampling), the worst case of the flooding class.
+//   - WalkNotify: the Gilbert et al. PODC 2018 class with
+//     O(tmix·√n·polylog n) messages: candidates spray Θ̃(√n) random-walk
+//     tokens that mark visited nodes with the max candidate ID and leave
+//     reverse-pointer breadcrumbs; a candidate whose token lands on a node
+//     marked by a larger ID is eliminated by a kill notice climbing the
+//     breadcrumb forest back to the origin. Survivors lead.
+package baseline

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"anonlead/internal/congest"
+	"anonlead/internal/rng"
+	"anonlead/internal/sim"
+)
+
+// FloodConfig parameterizes the flooding baselines.
+type FloodConfig struct {
+	// N is the known network size (ID range n⁴ and candidate rate).
+	N int
+	// Diam is the known diameter bound: the protocol floods for Diam+1
+	// rounds and halts (the Kutten-class row assumes n and D known).
+	Diam int
+	// C scales the candidate rate (C·ln n)/n. Zero selects 2.
+	C float64
+	// AllNodes makes every node a candidate (the naive AllFlood variant).
+	AllNodes bool
+}
+
+func (cfg FloodConfig) resolve() (floodParams, error) {
+	var p floodParams
+	if cfg.N < 2 {
+		return p, fmt.Errorf("baseline: FloodConfig.N must be >= 2, got %d", cfg.N)
+	}
+	if cfg.Diam < 1 {
+		return p, fmt.Errorf("baseline: FloodConfig.Diam must be >= 1, got %d", cfg.Diam)
+	}
+	p.n = cfg.N
+	p.rounds = cfg.Diam + 2 // +1 slack over the exact eccentricity bound
+	c := cfg.C
+	if c <= 0 {
+		c = 2
+	}
+	ln := math.Log(float64(p.n))
+	if ln < 1 {
+		ln = 1
+	}
+	p.candProb = c * ln / float64(p.n)
+	if cfg.AllNodes || p.candProb > 1 {
+		p.candProb = 1
+	}
+	nn := uint64(p.n)
+	p.maxID = nn * nn * nn * nn
+	return p, nil
+}
+
+type floodParams struct {
+	n        int
+	rounds   int
+	candProb float64
+	maxID    uint64
+}
+
+// floodMsg carries the largest candidate ID seen.
+type floodMsg struct{ id uint64 }
+
+// Bits returns the CONGEST size of the flooded ID.
+func (m floodMsg) Bits() int { return congest.BitLen(m.id) }
+
+// FloodOutput is a node's result after the flood halts.
+type FloodOutput struct {
+	Candidate bool
+	ID        uint64
+	MaxSeen   uint64
+	Leader    bool
+}
+
+// FloodMachine is the per-node FloodMax state machine: forward the maximum
+// candidate ID seen (send-on-change), halt after Diam+2 rounds, lead iff
+// your own ID survived as the maximum.
+type FloodMachine struct {
+	p      floodParams
+	r      *rng.RNG
+	out    FloodOutput
+	sent   uint64 // largest ID already broadcast
+	halted bool
+}
+
+// NewFloodFactory returns a sim.Factory for FloodMax.
+func NewFloodFactory(cfg FloodConfig) (sim.Factory, error) {
+	p, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return func(node, degree int, r *rng.RNG) sim.Machine {
+		return &FloodMachine{p: p, r: r}
+	}, nil
+}
+
+// Rounds returns the number of rounds the protocol runs before halting.
+func (cfg FloodConfig) Rounds() int { return cfg.Diam + 3 }
+
+// Output returns the node's result; valid after halting.
+func (m *FloodMachine) Output() FloodOutput { return m.out }
+
+// Init implements sim.Machine.
+func (m *FloodMachine) Init(ctx *sim.Context) {
+	m.out.ID = 1 + m.r.Uint64n(m.p.maxID)
+	m.out.Candidate = m.r.Bernoulli(m.p.candProb)
+	if m.out.Candidate {
+		m.out.MaxSeen = m.out.ID
+	}
+}
+
+// Step implements sim.Machine.
+func (m *FloodMachine) Step(ctx *sim.Context, inbox []sim.Packet) {
+	if m.halted {
+		return
+	}
+	for _, pkt := range inbox {
+		if msg, ok := pkt.Payload.(floodMsg); ok && msg.id > m.out.MaxSeen {
+			m.out.MaxSeen = msg.id
+		}
+	}
+	if ctx.Round() >= m.p.rounds {
+		m.out.Leader = m.out.Candidate && m.out.MaxSeen == m.out.ID
+		m.halted = true
+		ctx.Halt()
+		return
+	}
+	if m.out.MaxSeen > m.sent {
+		m.sent = m.out.MaxSeen
+		ctx.Broadcast(floodMsg{id: m.sent})
+	}
+}

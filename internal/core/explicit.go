@@ -1,0 +1,145 @@
+package core
+
+import (
+	"anonlead/internal/congest"
+	"anonlead/internal/rng"
+	"anonlead/internal/sim"
+)
+
+// ExplicitConfig parameterizes explicit Irrevocable Leader Election: the
+// Section 4 implicit protocol followed by a leader announcement flood that
+// simultaneously builds a leader-rooted BFS spanning tree. The paper notes
+// (Section 3) that explicit LE, Broadcast and tree construction follow
+// from implicit LE at an extra O(m) messages and O(D) time; this is that
+// extension.
+type ExplicitConfig struct {
+	// IRE configures the underlying implicit election.
+	IRE IREConfig
+	// AnnounceRounds bounds the announcement flood. Zero selects n
+	// (diameter is unknown to anonymous nodes, n always suffices).
+	AnnounceRounds int
+}
+
+// announceMsg floods the elected leader's ID; depth lets receivers record
+// their BFS distance.
+type announceMsg struct {
+	id    uint64
+	depth int
+}
+
+// Bits returns the CONGEST size of the announcement.
+func (m announceMsg) Bits() int {
+	return congest.BitLen(m.id) + congest.BitLen(uint64(m.depth))
+}
+
+// ExplicitOutput reports one node's result after explicit election.
+type ExplicitOutput struct {
+	// IRE carries the underlying implicit-election outputs.
+	IRE IREOutput
+	// KnowsLeader reports whether the announcement reached this node.
+	KnowsLeader bool
+	// LeaderID is the announced leader ID (0 if unreached or no leader).
+	LeaderID uint64
+	// ParentPort is the port toward the leader in the announcement BFS
+	// tree (-1 at the leader itself and at unreached nodes).
+	ParentPort int
+	// Depth is the node's hop distance from the leader in the tree.
+	Depth int
+}
+
+// ExplicitMachine chains the implicit IRE machine with an announcement
+// flood. After the implicit decide round, the leader broadcasts its ID;
+// every node adopts the first announcement it hears (recording the arrival
+// port as its tree parent), forwards once, and halts when the announcement
+// window closes.
+type ExplicitMachine struct {
+	inner     *IREMachine
+	announceN int
+	out       ExplicitOutput
+	forwarded bool
+	halted    bool
+}
+
+// NewExplicitFactory returns a sim.Factory for explicit leader election.
+func NewExplicitFactory(cfg ExplicitConfig) (sim.Factory, error) {
+	p, err := cfg.IRE.resolve()
+	if err != nil {
+		return nil, err
+	}
+	announce := cfg.AnnounceRounds
+	if announce <= 0 {
+		announce = p.n
+	}
+	return func(node, degree int, r *rng.RNG) sim.Machine {
+		return &ExplicitMachine{
+			inner: &IREMachine{
+				p:       p,
+				r:       r,
+				execs:   make(map[uint64]*bcastExec),
+				ccSent:  make(map[uint64]uint64),
+				chained: true,
+			},
+			announceN: announce,
+			out:       ExplicitOutput{ParentPort: -1},
+		}
+	}, nil
+}
+
+// Output returns the node's results; valid after halting.
+func (m *ExplicitMachine) Output() ExplicitOutput {
+	m.out.IRE = m.inner.Output()
+	return m.out
+}
+
+// TotalRounds returns the full protocol length (implicit election plus
+// announcement window).
+func (m *ExplicitMachine) TotalRounds() int {
+	return m.inner.p.total + m.announceN + 2
+}
+
+// Init implements sim.Machine.
+func (m *ExplicitMachine) Init(ctx *sim.Context) { m.inner.Init(ctx) }
+
+// Step implements sim.Machine.
+func (m *ExplicitMachine) Step(ctx *sim.Context, inbox []sim.Packet) {
+	if m.halted {
+		return
+	}
+	round := ctx.Round()
+	total := m.inner.p.total
+	if round <= total {
+		m.inner.Step(ctx, inbox)
+		if round == total && m.inner.out.Leader {
+			// The freshly decided leader opens the announcement flood.
+			m.out.KnowsLeader = true
+			m.out.LeaderID = m.inner.out.ID
+			m.out.Depth = 0
+			ctx.Broadcast(announceMsg{id: m.out.LeaderID, depth: 0})
+			m.forwarded = true
+		}
+		return
+	}
+	for _, pkt := range inbox {
+		msg, ok := pkt.Payload.(announceMsg)
+		if !ok {
+			continue
+		}
+		if !m.out.KnowsLeader || msg.id > m.out.LeaderID {
+			// First announcement (or a higher ID in the rare multi-leader
+			// failure): adopt, record the tree parent, re-forward.
+			m.out.KnowsLeader = true
+			m.out.LeaderID = msg.id
+			m.out.ParentPort = pkt.Port
+			m.out.Depth = msg.depth + 1
+			m.forwarded = false
+		}
+	}
+	if m.out.KnowsLeader && !m.forwarded {
+		m.forwarded = true
+		ctx.Broadcast(announceMsg{id: m.out.LeaderID, depth: m.out.Depth})
+	}
+	if round >= total+m.announceN+1 {
+		m.halted = true
+		ctx.Halt()
+	}
+}

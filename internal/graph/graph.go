@@ -1,0 +1,226 @@
+// Package graph provides the network-topology substrate for the leader
+// election simulator: an undirected graph with per-node port labelings
+// (the only structure anonymous nodes may rely on, per the paper's model),
+// generators for the standard topology families used in the experiments,
+// and basic traversal utilities.
+//
+// A node of degree d sees its incident links only as ports 0..d-1; the
+// mapping from ports to neighbors is fixed at construction time and may be
+// permuted adversarially (see PermutePorts) to exercise the protocols'
+// independence from labelings.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"anonlead/internal/rng"
+)
+
+// Graph is a finite, simple, undirected graph with a port labeling: for each
+// node v, the incident edges are arranged in a fixed order, and port p of v
+// leads to the p-th entry of that order. Graph is immutable after
+// construction and safe for concurrent readers.
+type Graph struct {
+	adj [][]int32 // adj[v][p] = neighbor of v behind port p
+	m   int       // number of undirected edges
+}
+
+// Builder accumulates edges and produces an immutable Graph. The zero value
+// is not usable; construct with NewBuilder.
+type Builder struct {
+	n     int
+	adj   [][]int32
+	seen  map[[2]int32]struct{}
+	loops bool
+}
+
+// NewBuilder returns a Builder for a graph on n nodes (labeled 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: builder with non-positive n=%d", n))
+	}
+	return &Builder{
+		n:    n,
+		adj:  make([][]int32, n),
+		seen: make(map[[2]int32]struct{}, n),
+	}
+}
+
+// AddEdge adds the undirected edge {u, v}. Duplicate edges are ignored
+// (simple graph); self-loops are rejected. AddEdge panics on out-of-range
+// endpoints, which always indicates a generator bug.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		b.loops = true
+		return
+	}
+	a, c := int32(u), int32(v)
+	if a > c {
+		a, c = c, a
+	}
+	key := [2]int32{a, c}
+	if _, dup := b.seen[key]; dup {
+		return
+	}
+	b.seen[key] = struct{}{}
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+}
+
+// HasEdge reports whether {u,v} has already been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	a, c := int32(u), int32(v)
+	if a > c {
+		a, c = c, a
+	}
+	_, ok := b.seen[[2]int32{a, c}]
+	return ok
+}
+
+// Graph finalizes the builder. The per-node port order is the insertion
+// order of edges, which generators exploit to produce canonical labelings;
+// call PermutePorts afterwards for adversarial labelings.
+func (b *Builder) Graph() *Graph {
+	return &Graph{adj: b.adj, m: len(b.seen)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbor returns the node behind port p of node v.
+func (g *Graph) Neighbor(v, p int) int { return int(g.adj[v][p]) }
+
+// Neighbors returns a copy of v's neighbor list in port order. The copy
+// keeps callers from aliasing internal state (copy-at-boundary).
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, w := range g.adj[v] {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// PortTo returns the port of u that leads to v, or -1 if they are not
+// adjacent.
+func (g *Graph) PortTo(u, v int) int {
+	for p, w := range g.adj[u] {
+		if int(w) == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// Edges returns all undirected edges as (u,v) pairs with u < v, sorted.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if u < int(w) {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// MaxDegree returns the maximum node degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nb := range g.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum node degree.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, nb := range g.adj[1:] {
+		if len(nb) < min {
+			min = len(nb)
+		}
+	}
+	return min
+}
+
+// Volume returns the sum of degrees of the given node set (2m for all nodes).
+func (g *Graph) Volume(set []int) int {
+	vol := 0
+	for _, v := range set {
+		vol += len(g.adj[v])
+	}
+	return vol
+}
+
+// PermutePorts returns a copy of g in which every node's port order has been
+// independently shuffled using r. Protocol correctness must be invariant
+// under this transformation (anonymous networks expose no canonical ports);
+// tests use it as a labeling adversary.
+func (g *Graph) PermutePorts(r *rng.RNG) *Graph {
+	adj := make([][]int32, len(g.adj))
+	for v := range g.adj {
+		nb := make([]int32, len(g.adj[v]))
+		copy(nb, g.adj[v])
+		nodeRNG := r.Split(uint64(v))
+		nodeRNG.Shuffle(len(nb), func(i, j int) { nb[i], nb[j] = nb[j], nb[i] })
+		adj[v] = nb
+	}
+	return &Graph{adj: adj, m: g.m}
+}
+
+// Validate checks structural invariants: symmetry of the adjacency
+// structure, no self-loops, no duplicate ports, and degree/edge-count
+// consistency (handshake lemma). Generators are tested through this.
+func (g *Graph) Validate() error {
+	degSum := 0
+	for u := range g.adj {
+		seen := make(map[int32]struct{}, len(g.adj[u]))
+		for _, w := range g.adj[u] {
+			if int(w) == u {
+				return fmt.Errorf("graph: self-loop at node %d", u)
+			}
+			if w < 0 || int(w) >= len(g.adj) {
+				return fmt.Errorf("graph: node %d links out of range to %d", u, w)
+			}
+			if _, dup := seen[w]; dup {
+				return fmt.Errorf("graph: duplicate edge %d-%d", u, w)
+			}
+			seen[w] = struct{}{}
+			if g.PortTo(int(w), u) < 0 {
+				return fmt.Errorf("graph: asymmetric edge %d->%d", u, w)
+			}
+		}
+		degSum += len(g.adj[u])
+	}
+	if degSum != 2*g.m {
+		return fmt.Errorf("graph: handshake violation: degree sum %d != 2m %d", degSum, 2*g.m)
+	}
+	return nil
+}
+
+// ErrDisconnected is returned by generators that require connectivity when
+// the sampled graph is not connected after the retry budget.
+var ErrDisconnected = errors.New("graph: generated graph is not connected")

@@ -1,0 +1,399 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anonlead/internal/rng"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 1) // duplicate ignored
+	b.AddEdge(2, 2) // self-loop ignored
+	g := b.Graph()
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderHasEdge(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 2)
+	if !b.HasEdge(0, 2) || !b.HasEdge(2, 0) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if b.HasEdge(0, 1) {
+		t.Fatal("HasEdge reported absent edge")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestPortSemantics(t *testing.T) {
+	g := Cycle(5)
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("cycle degree at %d: %d", v, g.Degree(v))
+		}
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			back := g.PortTo(w, v)
+			if back < 0 || g.Neighbor(w, back) != v {
+				t.Fatalf("port round-trip failed at %d->%d", v, w)
+			}
+		}
+	}
+	if g.PortTo(0, 2) != -1 {
+		t.Fatal("PortTo for non-adjacent nodes should be -1")
+	}
+}
+
+func TestNeighborsIsCopy(t *testing.T) {
+	g := Cycle(4)
+	nb := g.Neighbors(0)
+	nb[0] = 99
+	if g.Neighbor(0, 0) == 99 {
+		t.Fatal("Neighbors leaked internal state")
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := Complete(5)
+	edges := g.Edges()
+	if len(edges) != 10 {
+		t.Fatalf("K5 edges: %d", len(edges))
+	}
+	for i, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not ordered", e)
+		}
+		if i > 0 {
+			prev := edges[i-1]
+			if prev[0] > e[0] || (prev[0] == e[0] && prev[1] >= e[1]) {
+				t.Fatalf("edges not sorted at %d", i)
+			}
+		}
+	}
+}
+
+func TestFamilySizes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"cycle", Cycle(7), 7, 7},
+		{"path", Path(7), 7, 6},
+		{"complete", Complete(6), 6, 15},
+		{"star", Star(9), 9, 8},
+		{"grid", Grid(3, 4), 12, 17},
+		{"torus", Torus(3, 4), 12, 24},
+		{"hypercube", Hypercube(4), 16, 32},
+		{"tree", BinaryTree(10), 10, 9},
+		{"barbell", Barbell(4, 3), 10, 15},
+		{"lollipop", Lollipop(4, 3), 7, 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.g.N() != c.n || c.g.M() != c.m {
+				t.Fatalf("got n=%d m=%d want n=%d m=%d", c.g.N(), c.g.M(), c.n, c.m)
+			}
+			if err := c.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !c.g.IsConnected() {
+				t.Fatal("family instance disconnected")
+			}
+		})
+	}
+}
+
+func TestFamilyDegrees(t *testing.T) {
+	if g := Torus(4, 5); g.MinDegree() != 4 || g.MaxDegree() != 4 {
+		t.Fatal("torus should be 4-regular")
+	}
+	if g := Hypercube(5); g.MinDegree() != 5 || g.MaxDegree() != 5 {
+		t.Fatal("hypercube Q5 should be 5-regular")
+	}
+	if g := Cycle(9); g.MinDegree() != 2 || g.MaxDegree() != 2 {
+		t.Fatal("cycle should be 2-regular")
+	}
+	if g := Star(6); g.MaxDegree() != 5 || g.MinDegree() != 1 {
+		t.Fatal("star degrees wrong")
+	}
+}
+
+func TestFamilyPanics(t *testing.T) {
+	cases := []func(){
+		func() { Cycle(2) },
+		func() { Path(1) },
+		func() { Complete(1) },
+		func() { Star(1) },
+		func() { Torus(2, 5) },
+		func() { Hypercube(0) },
+		func() { BinaryTree(1) },
+		func() { Barbell(1, 1) },
+		func() { Lollipop(1, 1) },
+		func() { Grid(0, 5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(1)
+	for _, d := range []int{2, 3, 4, 6, 8} {
+		n := 50
+		if (n*d)%2 != 0 {
+			n++
+		}
+		g, err := RandomRegular(n, d, r)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if g.MinDegree() != d || g.MaxDegree() != d {
+			t.Fatalf("d=%d: degrees [%d,%d]", d, g.MinDegree(), g.MaxDegree())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("d=%d: disconnected", d)
+		}
+	}
+}
+
+func TestRandomRegularRejectsBadParams(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomRegular(5, 3, r); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+	if _, err := RandomRegular(4, 1, r); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+	if _, err := RandomRegular(4, 4, r); err == nil {
+		t.Fatal("d=n accepted")
+	}
+}
+
+func TestGNPConnected(t *testing.T) {
+	r := rng.New(2)
+	g, err := GNPConnected(40, 0.2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("GNPConnected returned disconnected graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByNameAllFamilies(t *testing.T) {
+	for _, name := range FamilyNames() {
+		t.Run(name, func(t *testing.T) {
+			r := rng.New(3)
+			g, err := ByName(name, 16, r)
+			if err != nil {
+				t.Fatalf("ByName(%q, 16): %v", name, err)
+			}
+			if g.N() == 0 {
+				t.Fatal("empty graph")
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !g.IsConnected() {
+				t.Fatal("disconnected")
+			}
+		})
+	}
+	if _, err := ByName("nosuch", 8, rng.New(1)); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestPermutePortsPreservesStructure(t *testing.T) {
+	r := rng.New(4)
+	g, err := RandomRegular(30, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.PermutePorts(r.Split(99))
+	if p.N() != g.N() || p.M() != g.M() {
+		t.Fatal("permutation changed size")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Same edge sets.
+	e1, e2 := g.Edges(), p.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge sets differ at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestHandshakeProperty(t *testing.T) {
+	r := rng.New(5)
+	if err := quick.Check(func(seed uint64) bool {
+		g := GNP(20, 0.3, r.Split(seed))
+		degSum := 0
+		for v := 0; v < g.N(); v++ {
+			degSum += g.Degree(v)
+		}
+		return degSum == 2*g.M() && g.Validate() == nil
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolume(t *testing.T) {
+	g := Star(5)
+	all := []int{0, 1, 2, 3, 4}
+	if got := g.Volume(all); got != 2*g.M() {
+		t.Fatalf("full volume %d != 2m %d", got, 2*g.M())
+	}
+	if got := g.Volume([]int{0}); got != 4 {
+		t.Fatalf("hub volume %d != 4", got)
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		diam int
+	}{
+		{"path10", Path(10), 9},
+		{"cycle10", Cycle(10), 5},
+		{"cycle11", Cycle(11), 5},
+		{"complete7", Complete(7), 1},
+		{"star8", Star(8), 2},
+		{"hypercube4", Hypercube(4), 4},
+		{"grid3x4", Grid(3, 4), 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if d := c.g.Diameter(); d != c.diam {
+				t.Fatalf("diameter %d want %d", d, c.diam)
+			}
+			lb := c.g.DiameterLowerBound()
+			if lb > c.diam || lb < 1 {
+				t.Fatalf("lower bound %d vs diameter %d", lb, c.diam)
+			}
+		})
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(6)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if d[i] != want {
+			t.Fatalf("BFS dist[%d]=%d want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestDisconnectedDetection(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Graph()
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if cc := g.ComponentCount(); cc != 2 {
+		t.Fatalf("components: %d", cc)
+	}
+	if g.Diameter() != -1 || g.Eccentricity(0) != -1 || g.DiameterLowerBound() != -1 {
+		t.Fatal("distance queries on disconnected graph should return -1")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := Path(5)
+	if e := g.Eccentricity(2); e != 2 {
+		t.Fatalf("center eccentricity %d want 2", e)
+	}
+	if e := g.Eccentricity(0); e != 4 {
+		t.Fatalf("end eccentricity %d want 4", e)
+	}
+}
+
+func TestSquareDims(t *testing.T) {
+	cases := map[int][2]int{12: {3, 4}, 16: {4, 4}, 9: {3, 3}, 7: {1, 7}, 18: {3, 6}}
+	for n, want := range cases {
+		r, c := squareDims(n)
+		if r != want[0] || c != want[1] {
+			t.Fatalf("squareDims(%d) = %d,%d want %v", n, r, c, want)
+		}
+		if r*c != n {
+			t.Fatalf("squareDims(%d) does not cover n", n)
+		}
+	}
+}
+
+func TestRepairPairsProperty(t *testing.T) {
+	r := rng.New(6)
+	if err := quick.Check(func(seed uint64) bool {
+		rr := r.Split(seed)
+		n, d := 24, 4
+		stubs := make([]int, n*d)
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		rr.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		pairs := make([][2]int, 0, len(stubs)/2)
+		for i := 0; i < len(stubs); i += 2 {
+			pairs = append(pairs, norm2(stubs[i], stubs[i+1]))
+		}
+		if !repairPairs(pairs, rr) {
+			return false
+		}
+		// After repair: simple and degree-preserving.
+		deg := make([]int, n)
+		seen := map[[2]int]bool{}
+		for _, e := range pairs {
+			if e[0] == e[1] || seen[e] {
+				return false
+			}
+			seen[e] = true
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		for _, dv := range deg {
+			if dv != d {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package harness runs the paper-reproduction experiments: it builds
+// topology cells, executes protocol trials on the CONGEST simulator,
+// aggregates cost metrics and success rates, and renders the Table 1 rows
+// and figure series that EXPERIMENTS.md records.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"anonlead/internal/baseline"
+	"anonlead/internal/core"
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+	"anonlead/internal/sim"
+	"anonlead/internal/spectral"
+)
+
+// Protocol names a protocol under test.
+type Protocol string
+
+// The protocols the harness can run.
+const (
+	ProtoIRE        Protocol = "ire"        // this work, Section 4
+	ProtoExplicit   Protocol = "explicit"   // this work + Section 3 announcement
+	ProtoFlood      Protocol = "flood"      // Kutten-class baseline
+	ProtoAllFlood   Protocol = "allflood"   // naive flooding baseline
+	ProtoWalkNotify Protocol = "walknotify" // Gilbert-class baseline
+	ProtoRevocable  Protocol = "revocable"  // this work, Section 5.2
+)
+
+// Protocols lists all runnable protocols.
+func Protocols() []Protocol {
+	return []Protocol{ProtoIRE, ProtoExplicit, ProtoFlood, ProtoAllFlood, ProtoWalkNotify, ProtoRevocable}
+}
+
+// Workload identifies a topology cell.
+type Workload struct {
+	Family string
+	N      int
+}
+
+// BuildGraph constructs the workload's graph deterministically from seed
+// (random families draw from a seed-keyed stream).
+func (w Workload) BuildGraph(seed uint64) (*graph.Graph, error) {
+	r := rng.New(seed).SplitString("graph:" + w.Family)
+	return graph.ByName(w.Family, w.N, r)
+}
+
+// Trial is the outcome of one protocol execution.
+type Trial struct {
+	Leaders int
+	Success bool // exactly one leader
+	Rounds  int
+	Metrics sim.Metrics
+}
+
+// TrialOpts configures a batch of trials.
+type TrialOpts struct {
+	Trials   int
+	Seed     uint64
+	Parallel bool
+	// IRE overrides the IRE protocol constants (zero values = defaults).
+	IRE core.IREConfig
+	// Revocable overrides the revocable protocol parameters.
+	Revocable core.RevocableConfig
+	// RevocableMaxRounds caps a revocable run (0 = automatic).
+	RevocableMaxRounds int
+	// RevocableUseProfileIso feeds the profiled exact isoperimetric
+	// number into the revocable protocol (the Theorem 3 known-i(G)
+	// schedule) instead of the blind Corollary 1 schedule.
+	RevocableUseProfileIso bool
+}
+
+// Cell is the aggregated result of a trial batch on one workload.
+type Cell struct {
+	Protocol Protocol
+	Workload Workload
+	Profile  *spectral.Profile
+
+	Trials    int
+	Successes int
+	// Means over trials.
+	Messages float64
+	Bits     float64
+	Rounds   float64
+	Charged  float64
+	// MultiLeaders counts trials with more than one leader (vs zero).
+	MultiLeaders int
+	ZeroLeaders  int
+}
+
+// SuccessRate returns the fraction of trials electing exactly one leader.
+func (c Cell) SuccessRate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Successes) / float64(c.Trials)
+}
+
+// RunCell profiles the workload graph and executes a batch of trials of
+// the protocol on it.
+func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
+	g, err := w.BuildGraph(opts.Seed)
+	if err != nil {
+		return Cell{}, fmt.Errorf("harness: build %s/%d: %w", w.Family, w.N, err)
+	}
+	prof, err := spectral.ProfileGraph(g)
+	if err != nil {
+		return Cell{}, fmt.Errorf("harness: profile %s/%d: %w", w.Family, w.N, err)
+	}
+	cell := Cell{Protocol: p, Workload: w, Profile: prof}
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	for t := 0; t < trials; t++ {
+		seed := opts.Seed ^ (0x9e37*uint64(t) + uint64(t)<<32) ^ 0xabcd
+		trial, err := runOne(p, g, prof, opts, seed)
+		if err != nil {
+			return cell, err
+		}
+		cell.Trials++
+		if trial.Success {
+			cell.Successes++
+		}
+		if trial.Leaders > 1 {
+			cell.MultiLeaders++
+		}
+		if trial.Leaders == 0 {
+			cell.ZeroLeaders++
+		}
+		cell.Messages += float64(trial.Metrics.Messages)
+		cell.Bits += float64(trial.Metrics.Bits)
+		cell.Rounds += float64(trial.Rounds)
+		cell.Charged += float64(trial.Metrics.ChargedRounds)
+	}
+	inv := 1 / float64(cell.Trials)
+	cell.Messages *= inv
+	cell.Bits *= inv
+	cell.Rounds *= inv
+	cell.Charged *= inv
+	return cell, nil
+}
+
+// runOne executes a single trial of protocol p on g.
+func runOne(p Protocol, g *graph.Graph, prof *spectral.Profile, opts TrialOpts, seed uint64) (Trial, error) {
+	switch p {
+	case ProtoIRE, ProtoExplicit:
+		cfg := opts.IRE
+		cfg.N = g.N()
+		if cfg.TMix == 0 {
+			cfg.TMix = prof.MixingTime
+		}
+		if cfg.Phi == 0 {
+			cfg.Phi = prof.Conductance
+		}
+		if p == ProtoExplicit {
+			return RunExplicitTrial(g, core.ExplicitConfig{IRE: cfg}, seed, opts.Parallel)
+		}
+		return RunIRETrial(g, cfg, seed, opts.Parallel)
+	case ProtoFlood, ProtoAllFlood:
+		cfg := baseline.FloodConfig{N: g.N(), Diam: prof.Diameter, AllNodes: p == ProtoAllFlood}
+		return RunFloodTrial(g, cfg, seed, opts.Parallel)
+	case ProtoWalkNotify:
+		cfg := baseline.WalkNotifyConfig{N: g.N(), TMix: prof.MixingTime}
+		return RunWalkNotifyTrial(g, cfg, seed, opts.Parallel)
+	case ProtoRevocable:
+		cfg := opts.Revocable
+		if opts.RevocableUseProfileIso && cfg.Isoperimetric == 0 {
+			cfg.Isoperimetric = prof.Isoperim
+		}
+		return RunRevocableTrial(g, cfg, seed, opts.RevocableMaxRounds, opts.Parallel)
+	default:
+		return Trial{}, fmt.Errorf("harness: unknown protocol %q", p)
+	}
+}
+
+// RunIRETrial executes one Irrevocable LE election.
+func RunIRETrial(g *graph.Graph, cfg core.IREConfig, seed uint64, parallel bool) (Trial, error) {
+	factory, err := core.NewIREFactory(cfg)
+	if err != nil {
+		return Trial{}, err
+	}
+	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	_, _, _, _, total := nw.Machine(0).(*core.IREMachine).Params()
+	rounds := nw.Run(total + 4)
+	if !nw.AllHalted() {
+		return Trial{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4)
+	}
+	leaders := 0
+	for v := 0; v < g.N(); v++ {
+		if nw.Machine(v).(*core.IREMachine).Output().Leader {
+			leaders++
+		}
+	}
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+}
+
+// IRELeaderNodes runs one IRE election and returns the elected node
+// indices (used by the pumping-wheel experiment).
+func IRELeaderNodes(g *graph.Graph, cfg core.IREConfig, seed uint64, parallel bool) ([]int, sim.Metrics, error) {
+	factory, err := core.NewIREFactory(cfg)
+	if err != nil {
+		return nil, sim.Metrics{}, err
+	}
+	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	_, _, _, _, total := nw.Machine(0).(*core.IREMachine).Params()
+	nw.Run(total + 4)
+	if !nw.AllHalted() {
+		return nil, sim.Metrics{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4)
+	}
+	var leaders []int
+	for v := 0; v < g.N(); v++ {
+		if nw.Machine(v).(*core.IREMachine).Output().Leader {
+			leaders = append(leaders, v)
+		}
+	}
+	return leaders, nw.Metrics(), nil
+}
+
+// RunExplicitTrial executes one explicit election (implicit protocol plus
+// announcement flood). Success additionally requires every node to have
+// learned the leader.
+func RunExplicitTrial(g *graph.Graph, cfg core.ExplicitConfig, seed uint64, parallel bool) (Trial, error) {
+	factory, err := core.NewExplicitFactory(cfg)
+	if err != nil {
+		return Trial{}, err
+	}
+	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	total := nw.Machine(0).(*core.ExplicitMachine).TotalRounds()
+	rounds := nw.Run(total + 4)
+	if !nw.AllHalted() {
+		return Trial{}, fmt.Errorf("harness: explicit protocol did not halt in %d rounds", total+4)
+	}
+	leaders, allKnow := 0, true
+	for v := 0; v < g.N(); v++ {
+		out := nw.Machine(v).(*core.ExplicitMachine).Output()
+		if out.IRE.Leader {
+			leaders++
+		}
+		if !out.KnowsLeader {
+			allKnow = false
+		}
+	}
+	return Trial{
+		Leaders: leaders,
+		Success: leaders == 1 && allKnow,
+		Rounds:  rounds,
+		Metrics: nw.Metrics(),
+	}, nil
+}
+
+// RunFloodTrial executes one FloodMax election.
+func RunFloodTrial(g *graph.Graph, cfg baseline.FloodConfig, seed uint64, parallel bool) (Trial, error) {
+	factory, err := baseline.NewFloodFactory(cfg)
+	if err != nil {
+		return Trial{}, err
+	}
+	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	rounds := nw.Run(cfg.Rounds() + 2)
+	if !nw.AllHalted() {
+		return Trial{}, fmt.Errorf("harness: flood did not halt")
+	}
+	leaders := 0
+	for v := 0; v < g.N(); v++ {
+		if nw.Machine(v).(*baseline.FloodMachine).Output().Leader {
+			leaders++
+		}
+	}
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+}
+
+// RunWalkNotifyTrial executes one Gilbert-class baseline election.
+func RunWalkNotifyTrial(g *graph.Graph, cfg baseline.WalkNotifyConfig, seed uint64, parallel bool) (Trial, error) {
+	factory, err := baseline.NewWalkNotifyFactory(cfg)
+	if err != nil {
+		return Trial{}, err
+	}
+	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	rounds := nw.Run(cfg.Rounds() + 2)
+	if !nw.AllHalted() {
+		return Trial{}, fmt.Errorf("harness: walknotify did not halt")
+	}
+	leaders := 0
+	for v := 0; v < g.N(); v++ {
+		if nw.Machine(v).(*baseline.WalkNotifyMachine).Output().Leader {
+			leaders++
+		}
+	}
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+}
+
+// RunRevocableTrial executes one revocable election until the theory's
+// stability point (all nodes chose, certificates agree, k^{1+ε} > 4n) or
+// maxRounds.
+func RunRevocableTrial(g *graph.Graph, cfg core.RevocableConfig, seed uint64, maxRounds int, parallel bool) (Trial, error) {
+	factory, err := core.NewRevocableFactory(cfg)
+	if err != nil {
+		return Trial{}, err
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.5
+	}
+	if maxRounds <= 0 {
+		maxRounds = 200_000_000
+	}
+	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	converged := func() bool {
+		first := nw.Machine(0).(*core.RevocableMachine).Output()
+		if !first.Chosen || first.LeaderK == 0 {
+			return false
+		}
+		if math.Pow(float64(first.EstimateK), 1+eps) <= 4*float64(g.N()) {
+			return false
+		}
+		for v := 1; v < g.N(); v++ {
+			o := nw.Machine(v).(*core.RevocableMachine).Output()
+			if !o.Chosen || o.LeaderK != first.LeaderK || o.LeaderID != first.LeaderID {
+				return false
+			}
+		}
+		return true
+	}
+	rounds := nw.RunUntil(maxRounds, func(completed int) bool {
+		return completed%64 == 0 && converged()
+	})
+	if !converged() {
+		return Trial{}, fmt.Errorf("harness: revocable did not converge in %d rounds", rounds)
+	}
+	leaders := 0
+	for v := 0; v < g.N(); v++ {
+		if nw.Machine(v).(*core.RevocableMachine).Output().Leader {
+			leaders++
+		}
+	}
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+}

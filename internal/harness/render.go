@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table for experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with right-aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1e7 || x < 1e-3:
+		return fmt.Sprintf("%.3g", x)
+	case x >= 100:
+		return fmt.Sprintf("%.0f", x)
+	default:
+		return fmt.Sprintf("%.3g", x)
+	}
+}
+
+// I formats an int for table cells.
+func I(x int) string { return fmt.Sprintf("%d", x) }

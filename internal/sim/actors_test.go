@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+)
+
+// runGossipScheduler mirrors runGossip with an explicit scheduler choice.
+func runGossipScheduler(s Scheduler) ([]uint64, Metrics) {
+	g := graph.Torus(4, 5)
+	nw := New(Config{Graph: g, Seed: 7, Scheduler: s},
+		func(node, degree int, r *rng.RNG) Machine { return &gossiper{} })
+	defer nw.Close()
+	nw.Run(50)
+	vals := make([]uint64, g.N())
+	for v := 0; v < g.N(); v++ {
+		vals[v] = nw.Machine(v).(*gossiper).val
+	}
+	return vals, nw.Metrics()
+}
+
+func TestActorsMatchSequential(t *testing.T) {
+	seqVals, seqMet := runGossipScheduler(Sequential)
+	actVals, actMet := runGossipScheduler(Actors)
+	for i := range seqVals {
+		if seqVals[i] != actVals[i] {
+			t.Fatalf("node %d differs: %d vs %d", i, seqVals[i], actVals[i])
+		}
+	}
+	if seqMet != actMet {
+		t.Fatalf("metrics differ:\nseq %+v\nact %+v", seqMet, actMet)
+	}
+}
+
+func TestActorsAutoCloseOnGlobalHalt(t *testing.T) {
+	g := graph.Cycle(6)
+	nw := New(Config{Graph: g, Seed: 1, Scheduler: Actors},
+		func(node, degree int, r *rng.RNG) Machine {
+			return &recorder{stopRound: 2, sendBits: 4}
+		})
+	nw.Run(20)
+	if !nw.AllHalted() {
+		t.Fatal("network did not halt")
+	}
+	if nw.actors != nil {
+		t.Fatal("actor pool not released after global halt")
+	}
+	// Close after auto-close must be a no-op.
+	nw.Close()
+}
+
+func TestActorsExplicitClose(t *testing.T) {
+	g := graph.Cycle(6)
+	nw := New(Config{Graph: g, Seed: 1, Scheduler: Actors},
+		func(node, degree int, r *rng.RNG) Machine {
+			return &recorder{stopRound: 1 << 30, sendBits: 4} // never halts
+		})
+	nw.Run(10)
+	nw.Close()
+	nw.Close() // idempotent
+}
+
+func TestCloseNoOpForOtherSchedulers(t *testing.T) {
+	g := graph.Cycle(4)
+	nw := New(Config{Graph: g, Seed: 1},
+		func(node, degree int, r *rng.RNG) Machine {
+			return &recorder{stopRound: 2, sendBits: 4}
+		})
+	nw.Close()
+	nw.Run(10)
+}
+
+func TestParallelAliasSelectsWorkerPool(t *testing.T) {
+	g := graph.Cycle(4)
+	nw := New(Config{Graph: g, Seed: 1, Parallel: true},
+		func(node, degree int, r *rng.RNG) Machine {
+			return &recorder{stopRound: 2, sendBits: 4}
+		})
+	if nw.scheduler != WorkerPool {
+		t.Fatalf("scheduler %v want WorkerPool", nw.scheduler)
+	}
+	// Explicit scheduler wins over the alias.
+	nw2 := New(Config{Graph: g, Seed: 1, Parallel: true, Scheduler: Actors},
+		func(node, degree int, r *rng.RNG) Machine {
+			return &recorder{stopRound: 2, sendBits: 4}
+		})
+	defer nw2.Close()
+	if nw2.scheduler != Actors {
+		t.Fatalf("scheduler %v want Actors", nw2.scheduler)
+	}
+}
+
+func TestActorsLongRun(t *testing.T) {
+	// A longer run shakes out ordering races between command dispatch and
+	// completion collection.
+	g := graph.Complete(12)
+	nw := New(Config{Graph: g, Seed: 3, Scheduler: Actors},
+		func(node, degree int, r *rng.RNG) Machine { return &gossiper{} })
+	defer nw.Close()
+	nw.Run(40)
+	ref := New(Config{Graph: g, Seed: 3},
+		func(node, degree int, r *rng.RNG) Machine { return &gossiper{} })
+	ref.Run(40)
+	for v := 0; v < g.N(); v++ {
+		if nw.Machine(v).(*gossiper).val != ref.Machine(v).(*gossiper).val {
+			t.Fatalf("node %d diverged", v)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+	"anonlead/internal/trace"
+)
+
+// Config configures a Network.
+type Config struct {
+	// Graph is the topology (required, connected graphs expected).
+	Graph *graph.Graph
+	// Seed is the root seed; per-node streams are split from it, so runs
+	// are reproducible and scheduler-independent.
+	Seed uint64
+	// CongestBits is the per-link per-round bit budget B. Zero selects the
+	// default 8·⌈log₂ n⌉, a concrete constant for the paper's O(log n).
+	CongestBits int
+	// Scheduler selects the execution engine; all engines are
+	// bit-identical. The zero value is Sequential.
+	Scheduler Scheduler
+	// Parallel is a convenience alias for Scheduler: WorkerPool (it wins
+	// over a zero Scheduler, loses to an explicit one).
+	Parallel bool
+	// Workers sets the pool size for WorkerPool (0 = GOMAXPROCS).
+	Workers int
+	// Trace, when non-nil, receives protocol events emitted through
+	// Context.Trace. Must be safe for concurrent Record calls when a
+	// concurrent scheduler is selected.
+	Trace trace.Recorder
+}
+
+// Network is a running simulation: one Machine per node plus double-buffered
+// mailboxes and cost accounting. Not safe for concurrent use by multiple
+// callers; internally the parallel scheduler partitions work safely.
+type Network struct {
+	g         *graph.Graph
+	machines  []Machine
+	ctxs      []Context
+	halted    []bool
+	inbox     [][]Packet
+	next      [][]Packet
+	revPort   [][]int32
+	edgeOff   []int // directed edge id of (v, port) = edgeOff[v] + port
+	metrics   Metrics
+	scheduler Scheduler
+	workers   int
+	inflight  int
+	actors    *actorPool
+	// linkBits accumulates per (directed edge, channel) bits within one
+	// round for slot accounting; reused across rounds.
+	linkBits map[uint64]int
+}
+
+// defaultCongestBits returns the default per-link budget for an n-node
+// network: 8·⌈log₂ n⌉ bits (a concrete instantiation of O(log n)).
+func defaultCongestBits(n int) int {
+	bits := 0
+	for v := n; v > 1; v >>= 1 {
+		bits++
+	}
+	if (1 << bits) < n {
+		bits++
+	}
+	if bits < 1 {
+		bits = 1
+	}
+	return 8 * bits
+}
+
+// New builds a network, constructs one machine per node via factory, and
+// runs every machine's Init (whose sends arrive at the start of round 0).
+func New(cfg Config, factory Factory) *Network {
+	g := cfg.Graph
+	if g == nil || g.N() == 0 {
+		panic("sim: config requires a non-empty graph")
+	}
+	n := g.N()
+	budget := cfg.CongestBits
+	if budget <= 0 {
+		budget = defaultCongestBits(n)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scheduler := cfg.Scheduler
+	if scheduler == Sequential && cfg.Parallel {
+		scheduler = WorkerPool
+	}
+	nw := &Network{
+		g:         g,
+		machines:  make([]Machine, n),
+		ctxs:      make([]Context, n),
+		halted:    make([]bool, n),
+		inbox:     make([][]Packet, n),
+		next:      make([][]Packet, n),
+		revPort:   make([][]int32, n),
+		edgeOff:   make([]int, n+1),
+		scheduler: scheduler,
+		workers:   workers,
+		linkBits:  make(map[uint64]int),
+	}
+	nw.metrics.CongestBits = budget
+
+	root := rng.New(cfg.Seed)
+	off := 0
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		nw.edgeOff[v] = off
+		off += deg
+		rp := make([]int32, deg)
+		for p := 0; p < deg; p++ {
+			w := g.Neighbor(v, p)
+			q := g.PortTo(w, v)
+			if q < 0 {
+				panic(fmt.Sprintf("sim: graph asymmetry at edge %d-%d", v, w))
+			}
+			rp[p] = int32(q)
+		}
+		nw.revPort[v] = rp
+		nw.ctxs[v] = Context{degree: deg, rng: root.Split(uint64(v)), node: v, rec: cfg.Trace}
+		nw.machines[v] = factory(v, deg, nw.ctxs[v].rng)
+	}
+	nw.edgeOff[n] = off
+
+	// Init phase (round -1): run Init on every machine, deliver sends to
+	// round 0 mailboxes.
+	for v := 0; v < n; v++ {
+		ctx := &nw.ctxs[v]
+		ctx.reset(-1)
+		nw.machines[v].Init(ctx)
+	}
+	nw.route()
+	nw.finishRoundAccounting(false)
+	return nw
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return len(nw.machines) }
+
+// Graph returns the underlying topology.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Machine returns node v's machine so the harness can read protocol
+// outputs after a run.
+func (nw *Network) Machine(v int) Machine { return nw.machines[v] }
+
+// Halted reports whether node v has halted.
+func (nw *Network) Halted(v int) bool { return nw.halted[v] }
+
+// AllHalted reports whether every node has halted.
+func (nw *Network) AllHalted() bool {
+	for _, h := range nw.halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// Metrics returns a snapshot of the accumulated cost accounting.
+func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// Step executes one synchronous round and returns false once every node
+// has halted and no packets remain in flight (releasing any persistent
+// actor goroutines).
+func (nw *Network) Step() bool {
+	if nw.AllHalted() && nw.inflight == 0 {
+		nw.Close()
+		return false
+	}
+	round := nw.metrics.Rounds
+	nw.deliver(round)
+	nw.route()
+	nw.metrics.Rounds++
+	nw.finishRoundAccounting(true)
+	return true
+}
+
+// Run executes up to rounds rounds, stopping early on global halt. It
+// returns the number of rounds executed.
+func (nw *Network) Run(rounds int) int {
+	executed := 0
+	for executed < rounds && nw.Step() {
+		executed++
+	}
+	return executed
+}
+
+// RunUntil executes rounds until done(round) reports true or maxRounds is
+// reached, returning the number of rounds executed. done is evaluated after
+// each round with the number of rounds completed so far.
+func (nw *Network) RunUntil(maxRounds int, done func(completed int) bool) int {
+	executed := 0
+	for executed < maxRounds && nw.Step() {
+		executed++
+		if done(executed) {
+			break
+		}
+	}
+	return executed
+}
+
+// stepNode runs one node's step for the round. It touches only node v's
+// state, so any scheduler may invoke it concurrently for distinct nodes.
+func (nw *Network) stepNode(v, round int) {
+	ctx := &nw.ctxs[v]
+	ctx.reset(round)
+	if nw.halted[v] {
+		return
+	}
+	box := nw.inbox[v]
+	sortInbox(box)
+	nw.machines[v].Step(ctx, box)
+}
+
+// deliver invokes Step on every live machine with this round's inbox,
+// using the configured scheduler.
+func (nw *Network) deliver(round int) {
+	n := len(nw.machines)
+	switch {
+	case nw.scheduler == Actors:
+		nw.deliverActors(round)
+	case nw.scheduler == WorkerPool && n >= 2*nw.workers:
+		var wg sync.WaitGroup
+		chunk := (n + nw.workers - 1) / nw.workers
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for v := lo; v < hi; v++ {
+					nw.stepNode(v, round)
+				}
+			}(start, end)
+		}
+		wg.Wait()
+	default:
+		for v := 0; v < n; v++ {
+			nw.stepNode(v, round)
+		}
+	}
+	// Clear delivered mailboxes for reuse as the next "next" buffers.
+	for v := range nw.inbox {
+		nw.inbox[v] = nw.inbox[v][:0]
+	}
+}
+
+// route moves every context's sends into the receivers' next-round
+// mailboxes, in sender order (single-threaded: determinism for both
+// schedulers), applies halts, and meters traffic.
+func (nw *Network) route() {
+	nw.inflight = 0
+	clear(nw.linkBits)
+	for v := range nw.machines {
+		ctx := &nw.ctxs[v]
+		if ctx.halted {
+			nw.halted[v] = true
+		}
+		for _, s := range ctx.out {
+			w := nw.g.Neighbor(v, s.port)
+			q := nw.revPort[v][s.port]
+			bits := s.payload.Bits()
+			nw.metrics.Messages++
+			nw.metrics.Bits += int64(bits)
+			key := uint64(nw.edgeOff[v]+s.port)<<32 | uint64(s.channel)
+			nw.linkBits[key] += bits
+			if nw.halted[w] {
+				continue // receiver stopped: packet dropped
+			}
+			nw.next[w] = append(nw.next[w], Packet{Port: int(q), Channel: s.channel, Payload: s.payload})
+			nw.inflight++
+		}
+		ctx.out = ctx.out[:0]
+	}
+	nw.inbox, nw.next = nw.next, nw.inbox
+}
+
+// finishRoundAccounting converts the per-link bit loads of the round just
+// routed into CONGEST charged rounds. counted=false is used for the Init
+// pseudo-round, which charges slots but not a base round.
+func (nw *Network) finishRoundAccounting(counted bool) {
+	budget := nw.metrics.CongestBits
+	// slots[edge] = sum over channels of ceil(bits/budget)
+	type agg struct{ slots, channels int }
+	perEdge := make(map[uint32]agg, len(nw.linkBits))
+	for key, bits := range nw.linkBits {
+		edge := uint32(key >> 32)
+		s := (bits + budget - 1) / budget
+		if s < 1 {
+			s = 1
+		}
+		a := perEdge[edge]
+		a.slots += s
+		a.channels++
+		perEdge[edge] = a
+	}
+	maxSlots, maxChannels := 0, 0
+	for _, a := range perEdge {
+		if a.slots > maxSlots {
+			maxSlots = a.slots
+		}
+		if a.channels > maxChannels {
+			maxChannels = a.channels
+		}
+	}
+	if maxSlots > nw.metrics.MaxLinkSlots {
+		nw.metrics.MaxLinkSlots = maxSlots
+	}
+	if maxChannels > nw.metrics.MaxChannels {
+		nw.metrics.MaxChannels = maxChannels
+	}
+	charge := int64(maxSlots)
+	if counted && charge < 1 {
+		charge = 1
+	}
+	nw.metrics.ChargedRounds += charge
+}
+
+// sortInbox orders packets by (port, channel) with stable order for ties
+// (a single neighbor's multi-packet sends keep their send order).
+func sortInbox(box []Packet) {
+	sort.SliceStable(box, func(i, j int) bool {
+		if box[i].Port != box[j].Port {
+			return box[i].Port < box[j].Port
+		}
+		return box[i].Channel < box[j].Channel
+	})
+}

@@ -1,0 +1,143 @@
+// Package sim is a synchronous message-passing simulator for anonymous
+// networks under the CONGEST model, the execution substrate for every
+// protocol in this repository.
+//
+// The model follows Section 2 of the paper exactly:
+//
+//   - Time is slotted into globally synchronous rounds. Messages sent in
+//     round t are delivered at the start of round t+1.
+//   - Nodes are anonymous: a protocol machine observes only its degree, its
+//     private random stream, the current round number, and the ports
+//     (0..deg-1) on which packets arrive. The API offers no node identity.
+//   - Each link carries O(log n) bits per round. The simulator meters every
+//     payload and charges "CONGEST rounds": traffic on one link within one
+//     logical round is serialized into budget-sized slots, with distinct
+//     logical channels (parallel protocol executions, cf. the paper's
+//     super-round multiplexing) never sharing a slot.
+//
+// Two schedulers execute the same deterministic semantics: a sequential
+// loop, and a goroutine worker pool that fans node steps out across CPUs
+// and re-merges sends in node order (so results are bit-identical).
+package sim
+
+import (
+	"fmt"
+
+	"anonlead/internal/rng"
+	"anonlead/internal/trace"
+)
+
+// Payload is a protocol-defined message body. Bits reports the exact
+// CONGEST size of the encoded payload; the simulator uses it for bit
+// accounting and slot serialization. Implementations must be immutable
+// after send (payloads are delivered by reference).
+type Payload interface {
+	Bits() int
+}
+
+// Packet is a delivered message.
+type Packet struct {
+	// Port is the receiving node's port on which the packet arrived.
+	Port int
+	// Channel tags the logical protocol execution (paper super-round slot)
+	// the packet belongs to. Traffic on distinct channels never shares a
+	// CONGEST slot.
+	Channel uint32
+	// Payload is the message body.
+	Payload Payload
+}
+
+// Machine is a per-node protocol state machine. Implementations must not
+// retain or share state across machines other than through messages: the
+// simulator relies on Step(v) touching only machine v's state so the
+// parallel scheduler is race-free.
+type Machine interface {
+	// Init runs once before round 0. Machines may send from Init; those
+	// packets arrive at the start of round 0.
+	Init(ctx *Context)
+	// Step runs once per round with the packets delivered this round
+	// (sent by neighbors in the previous round), in ascending port order.
+	Step(ctx *Context, inbox []Packet)
+}
+
+// Factory builds the machine for a node. The node index is provided so the
+// harness can correlate per-node outputs; protocol logic must not use it
+// (anonymity). The RNG is the node's private stream.
+type Factory func(node, degree int, r *rng.RNG) Machine
+
+// Context is a machine's window onto the network for one call. It exposes
+// exactly the information the paper's model grants an anonymous node.
+// Contexts are only valid for the duration of the Init/Step call.
+type Context struct {
+	degree int
+	round  int
+	rng    *rng.RNG
+	out    []send
+	halted bool
+	node   int            // for trace attribution only; never exposed
+	rec    trace.Recorder // nil when tracing is disabled
+}
+
+type send struct {
+	port    int
+	channel uint32
+	payload Payload
+}
+
+// Degree returns the number of ports (incident links) of this node.
+func (c *Context) Degree() int { return c.degree }
+
+// Round returns the current round number (Init is round -1).
+func (c *Context) Round() int { return c.round }
+
+// RNG returns the node's private random stream.
+func (c *Context) RNG() *rng.RNG { return c.rng }
+
+// Send enqueues payload on the given port and logical channel; it is
+// delivered to the neighbor at the start of the next round. Send panics on
+// an out-of-range port (protocol bug) or nil payload.
+func (c *Context) Send(port int, channel uint32, payload Payload) {
+	if port < 0 || port >= c.degree {
+		panic(fmt.Sprintf("sim: send on invalid port %d (degree %d)", port, c.degree))
+	}
+	if payload == nil {
+		panic("sim: send with nil payload")
+	}
+	c.out = append(c.out, send{port: port, channel: channel, payload: payload})
+}
+
+// Broadcast sends payload on every port (channel 0 unless specified via
+// BroadcastChannel).
+func (c *Context) Broadcast(payload Payload) {
+	for p := 0; p < c.degree; p++ {
+		c.Send(p, 0, payload)
+	}
+}
+
+// BroadcastChannel sends payload on every port, tagged with channel.
+func (c *Context) BroadcastChannel(channel uint32, payload Payload) {
+	for p := 0; p < c.degree; p++ {
+		c.Send(p, channel, payload)
+	}
+}
+
+// Halt marks this node as stopped: Step will no longer be called and the
+// node sends nothing further. Halting is how protocols realize the
+// "all nodes stop" clause of Irrevocable Leader Election (Definition 1).
+func (c *Context) Halt() { c.halted = true }
+
+// Trace records a protocol event when the network was configured with a
+// trace recorder; otherwise it is a no-op. Tracing is write-only
+// observability: nothing about the network flows back to the machine.
+func (c *Context) Trace(kind, detail string) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Record(trace.Event{Round: c.round, Node: c.node, Kind: kind, Detail: detail})
+}
+
+// reset prepares the context for the next call.
+func (c *Context) reset(round int) {
+	c.round = round
+	c.out = c.out[:0]
+}

@@ -1,0 +1,135 @@
+package spectral
+
+import (
+	"math"
+
+	"anonlead/internal/graph"
+)
+
+// eigenIterations bounds the power-iteration loop. The iterate converges
+// geometrically at rate λ₃/λ₂; this budget resolves the spectral gap well
+// below harness tolerances even on near-degenerate spectra (long cycles).
+const eigenIterations = 10000
+
+// eigenTol is the relative change threshold at which power iteration stops.
+const eigenTol = 1e-12
+
+// SecondEigenvalue returns λ₂ of the lazy random-walk matrix of g, the
+// quantity controlling mixing (relaxation) time. Because the walk is lazy,
+// the spectrum is non-negative, so λ₂ is also the second-largest eigenvalue
+// magnitude.
+func SecondEigenvalue(g *graph.Graph) float64 {
+	lambda, _ := secondEigenpair(g)
+	return lambda
+}
+
+// SecondEigenvector returns (a numerical approximation of) the eigenvector
+// for λ₂ of the lazy walk, mapped back from the symmetrized space to the
+// walk's right-eigenvector coordinates. Sweep cuts order vertices by it.
+func SecondEigenvector(g *graph.Graph) []float64 {
+	_, vec := secondEigenpair(g)
+	// Map symmetric-space vector y to right eigenvector x = D^{-1/2} y so
+	// that the ordering reflects the diffusion geometry of the walk.
+	out := make([]float64, len(vec))
+	for v := range vec {
+		d := g.Degree(v)
+		if d == 0 {
+			out[v] = vec[v]
+			continue
+		}
+		out[v] = vec[v] / math.Sqrt(float64(d))
+	}
+	return out
+}
+
+// SpectralGap returns 1 − λ₂ of the lazy walk on g.
+func SpectralGap(g *graph.Graph) float64 { return 1 - SecondEigenvalue(g) }
+
+// secondEigenpair power-iterates the symmetric matrix N = D^{1/2}·P·D^{-1/2}
+// (same spectrum as the lazy walk P, reversible with π_v ∝ deg v) while
+// deflating the known top eigenvector √deg. Matrix-free, O(m) per
+// iteration.
+func secondEigenpair(g *graph.Graph) (float64, []float64) {
+	n := g.N()
+	if n < 2 {
+		return 0, make([]float64, n)
+	}
+	top := make([]float64, n)
+	for v := 0; v < n; v++ {
+		top[v] = math.Sqrt(float64(g.Degree(v)))
+	}
+	normalize(top)
+
+	// Deterministic, non-degenerate start vector orthogonal to top.
+	x := make([]float64, n)
+	for v := range x {
+		x[v] = math.Sin(float64(v+1)) + 1e-3*float64(v%7)
+	}
+	orthogonalize(x, top)
+	normalize(x)
+
+	y := make([]float64, n)
+	lambda := 0.0
+	for iter := 0; iter < eigenIterations; iter++ {
+		applyLazySym(g, x, y)
+		orthogonalize(y, top)
+		newLambda := math.Sqrt(dot(y, y))
+		if newLambda == 0 {
+			return 0, x // x was numerically inside the top eigenspace
+		}
+		for v := range y {
+			y[v] /= newLambda
+		}
+		x, y = y, x
+		if iter > 8 && math.Abs(newLambda-lambda) <= eigenTol*newLambda {
+			return newLambda, x
+		}
+		lambda = newLambda
+	}
+	return lambda, x
+}
+
+// applyLazySym computes y = N·x for the symmetrized lazy-walk matrix
+// N[v][w] = 1/(2·sqrt(deg_v·deg_w)) on edges and N[v][v] = 1/2.
+func applyLazySym(g *graph.Graph, x, y []float64) {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		if deg == 0 {
+			y[v] = x[v]
+			continue
+		}
+		acc := 0.0
+		for p := 0; p < deg; p++ {
+			w := g.Neighbor(v, p)
+			acc += x[w] / math.Sqrt(float64(g.Degree(w)))
+		}
+		y[v] = 0.5*x[v] + acc/(2*math.Sqrt(float64(deg)))
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(x []float64) {
+	n := math.Sqrt(dot(x, x))
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// orthogonalize removes the component of x along the unit vector u.
+func orthogonalize(x, u []float64) {
+	c := dot(x, u)
+	for i := range x {
+		x[i] -= c * u[i]
+	}
+}

@@ -1,0 +1,152 @@
+// Package spectral computes the graph quantities the paper's protocols and
+// analysis are parameterized by: the lazy random-walk transition matrix,
+// its second eigenvalue, the mixing time tmix (exact by matrix powering at
+// small sizes, spectral estimate otherwise), the graph conductance Φ, and
+// the isoperimetric number i(G) (exact by cut enumeration at small sizes,
+// sweep-cut upper bounds plus Cheeger-style lower bounds otherwise).
+//
+// Definitions follow Section 2 of the paper:
+//
+//	tmix(G) = min t such that for every start distribution π0,
+//	          ||π0·Pᵗ − π*||∞ ≤ 1/(2n),
+//	Φ(G)    = min_S |∂S| / min(Vol(S), Vol(S̄)),
+//	i(G)    = min_{|S| ≤ n/2} |∂S| / |S|,
+//
+// where P is the lazy walk (stay with probability 1/2, otherwise uniform
+// neighbor), matching the walk used by Algorithm 5.
+package spectral
+
+import (
+	"fmt"
+
+	"anonlead/internal/graph"
+)
+
+// Dense is a dense square matrix in row-major order. It is the workhorse
+// for exact mixing-time computation at small n; protocol code never
+// allocates one.
+type Dense struct {
+	n    int
+	data []float64
+}
+
+// NewDense returns the zero n x n matrix.
+func NewDense(n int) *Dense {
+	return &Dense{n: n, data: make([]float64, n*n)}
+}
+
+// N returns the dimension.
+func (m *Dense) N() int { return m.n }
+
+// At returns entry (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns entry (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Row returns a live view of row i (internal use: callers do not mutate).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.n)
+	copy(out.data, m.data)
+	return out
+}
+
+// Mul returns m · other. It panics on dimension mismatch (programming
+// error).
+func (m *Dense) Mul(other *Dense) *Dense {
+	if m.n != other.n {
+		panic(fmt.Sprintf("spectral: dimension mismatch %d vs %d", m.n, other.n))
+	}
+	n := m.n
+	out := NewDense(n)
+	for i := 0; i < n; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < n; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			ok := other.Row(k)
+			for j := 0; j < n; j++ {
+				oi[j] += a * ok[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVecLeft returns the row vector x · m (distribution evolution).
+func (m *Dense) MulVecLeft(x []float64) []float64 {
+	if len(x) != m.n {
+		panic(fmt.Sprintf("spectral: vector length %d vs matrix %d", len(x), m.n))
+	}
+	out := make([]float64, m.n)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// LazyWalkMatrix returns the transition matrix of the paper's lazy random
+// walk on g: stay put with probability 1/2, otherwise move to a uniformly
+// random neighbor.
+func LazyWalkMatrix(g *graph.Graph) *Dense {
+	n := g.N()
+	m := NewDense(n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		m.Set(v, v, 0.5)
+		if deg == 0 {
+			m.Set(v, v, 1)
+			continue
+		}
+		share := 0.5 / float64(deg)
+		for p := 0; p < deg; p++ {
+			w := g.Neighbor(v, p)
+			m.Set(v, w, m.At(v, w)+share)
+		}
+	}
+	return m
+}
+
+// RowStochasticError returns the maximum over rows of |rowSum - 1|, used by
+// tests to validate transition matrices.
+func (m *Dense) RowStochasticError() float64 {
+	worst := 0.0
+	for i := 0; i < m.n; i++ {
+		sum := 0.0
+		for _, v := range m.Row(i) {
+			sum += v
+		}
+		if d := abs(sum - 1); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,154 @@
+package spectral
+
+import (
+	"math"
+
+	"anonlead/internal/graph"
+)
+
+// MixingTimeExactLimit is the largest n for which ProfileGraph computes the
+// exact mixing time by matrix powering; beyond it the spectral estimate is
+// used. Exact powering costs O(n³·log tmix) — about a second at the limit.
+// The spectral estimate can overshoot fast-mixing graphs by ~10x (it pays
+// the full log(4nm) even when the true tmix is O(1)), so exactness up to
+// the common experiment sizes keeps protocol parameterizations honest.
+const MixingTimeExactLimit = 256
+
+// MixingTimeExact computes the paper's tmix(G) exactly: the minimum t such
+// that every row of Pᵗ is within 1/(2n) of the stationary distribution in
+// the max norm (point-mass starts are the worst case, so checking rows
+// suffices; arbitrary π0 are convex combinations of rows). It brackets t by
+// repeated squaring and then binary-searches inside the bracket. maxT caps
+// the search; if tmix exceeds maxT, maxT is returned (callers treat the cap
+// as "at least this much").
+func MixingTimeExact(g *graph.Graph, maxT int) int {
+	n := g.N()
+	if n < 2 {
+		return 1
+	}
+	pi := Stationary(g)
+	p := LazyWalkMatrix(g)
+	if withinMixingTolerance(p, pi) {
+		return 1
+	}
+
+	// Bracket: powers[i] = P^(2^i); find first power that mixes.
+	powers := []*Dense{p}
+	steps := []int{1}
+	cur := p
+	t := 1
+	for !withinMixingTolerance(cur, pi) {
+		if t >= maxT {
+			return maxT
+		}
+		cur = cur.Mul(cur)
+		t *= 2
+		powers = append(powers, cur)
+		steps = append(steps, t)
+	}
+
+	// Binary search in (t/2, t] by composing saved powers.
+	lo, hi := t/2, t // P^lo not mixed, P^hi mixed
+	base := powers[len(powers)-2]
+	baseSteps := steps[len(steps)-2]
+	acc := base
+	accSteps := baseSteps
+	// Greedily add decreasing powers while staying unmixed.
+	for i := len(powers) - 3; i >= 0; i-- {
+		trial := acc.Mul(powers[i])
+		trialSteps := accSteps + steps[i]
+		if withinMixingTolerance(trial, pi) {
+			if trialSteps < hi {
+				hi = trialSteps
+			}
+		} else {
+			acc = trial
+			accSteps = trialSteps
+			if trialSteps > lo {
+				lo = trialSteps
+			}
+		}
+	}
+	// acc is the largest unmixed power found; one more single step at a
+	// time closes the gap (the remaining window is at most a few steps).
+	for accSteps+1 < hi {
+		acc = acc.Mul(p)
+		accSteps++
+		if withinMixingTolerance(acc, pi) {
+			return accSteps
+		}
+	}
+	_ = lo
+	return hi
+}
+
+// withinMixingTolerance reports whether every row of p is within 1/(2n) of
+// the stationary distribution in max norm.
+func withinMixingTolerance(p *Dense, pi []float64) bool {
+	n := p.N()
+	tol := 1 / (2 * float64(n))
+	for i := 0; i < n; i++ {
+		row := p.Row(i)
+		for j, v := range row {
+			if abs(v-pi[j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stationary returns the stationary distribution of the lazy walk on g:
+// π_v = deg(v) / (2m).
+func Stationary(g *graph.Graph) []float64 {
+	n := g.N()
+	pi := make([]float64, n)
+	total := float64(2 * g.M())
+	if total == 0 {
+		for v := range pi {
+			pi[v] = 1 / float64(n)
+		}
+		return pi
+	}
+	for v := 0; v < n; v++ {
+		pi[v] = float64(g.Degree(v)) / total
+	}
+	return pi
+}
+
+// MixingTimeSpectral estimates tmix from the spectral gap via the standard
+// relaxation-time bound tmix ≤ ln(2n / π_min) / (1 − λ₂), which for the
+// paper's 1/(2n) tolerance and π_min ≥ 1/(2m) gives ln(4nm)/gap. The
+// estimate is an upper bound up to constants and has the right growth on
+// every family in the experiment suite (Θ(n²·log n) on cycles, Θ(log n) on
+// expanders).
+func MixingTimeSpectral(g *graph.Graph) int {
+	n := g.N()
+	if n < 2 {
+		return 1
+	}
+	gap := SpectralGap(g)
+	if gap <= 0 {
+		return math.MaxInt32
+	}
+	t := math.Log(4*float64(n)*float64(g.M())) / gap
+	if t < 1 {
+		return 1
+	}
+	if t > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(t))
+}
+
+// MixingTime returns the exact mixing time when n is small enough and the
+// spectral estimate otherwise.
+func MixingTime(g *graph.Graph) int {
+	if g.N() <= MixingTimeExactLimit {
+		// Cap exact search generously; cycles need ~n² steps.
+		n := g.N()
+		cap := 8*n*n + 64
+		return MixingTimeExact(g, cap)
+	}
+	return MixingTimeSpectral(g)
+}

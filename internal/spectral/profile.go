@@ -1,0 +1,61 @@
+package spectral
+
+import (
+	"fmt"
+	"strings"
+
+	"anonlead/internal/graph"
+)
+
+// Profile aggregates the structural quantities the protocols are
+// parameterized by. The harness computes one Profile per (family, n) cell
+// and feeds it to protocol configuration.
+type Profile struct {
+	N           int     // nodes
+	M           int     // edges
+	Diameter    int     // exact diameter
+	MinDegree   int     // minimum degree
+	MaxDegree   int     // maximum degree
+	Lambda2     float64 // second eigenvalue of the lazy walk
+	SpectralGap float64 // 1 - Lambda2
+	MixingTime  int     // exact for small n, spectral estimate otherwise
+	ExactMixing bool    // whether MixingTime is exact
+	Conductance float64 // Φ(G): exact for n <= ExactCutLimit, else sweep bound
+	Isoperim    float64 // i(G): same regime split as Conductance
+	ExactCuts   bool    // whether Conductance/Isoperim are exact
+}
+
+// ProfileGraph computes a Profile for g. g must be connected; profiling a
+// disconnected graph returns an error because every quantity is degenerate
+// there (tmix = ∞, Φ = 0).
+func ProfileGraph(g *graph.Graph) (*Profile, error) {
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("spectral: profile requires a connected graph (components=%d)", g.ComponentCount())
+	}
+	p := &Profile{
+		N:         g.N(),
+		M:         g.M(),
+		Diameter:  g.Diameter(),
+		MinDegree: g.MinDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+	p.Lambda2 = SecondEigenvalue(g)
+	p.SpectralGap = 1 - p.Lambda2
+	p.ExactMixing = g.N() <= MixingTimeExactLimit
+	p.MixingTime = MixingTime(g)
+	p.ExactCuts = g.N() <= ExactCutLimit
+	p.Conductance = Conductance(g)
+	p.Isoperim = Isoperimetric(g)
+	return p, nil
+}
+
+// String renders the profile as a single aligned block for CLI output.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d m=%d diameter=%d degree=[%d,%d]\n", p.N, p.M, p.Diameter, p.MinDegree, p.MaxDegree)
+	fmt.Fprintf(&b, "lambda2=%.6f gap=%.6f\n", p.Lambda2, p.SpectralGap)
+	exact := map[bool]string{true: "exact", false: "estimate"}
+	fmt.Fprintf(&b, "tmix=%d (%s)\n", p.MixingTime, exact[p.ExactMixing])
+	fmt.Fprintf(&b, "conductance=%.6f isoperimetric=%.6f (%s)", p.Conductance, p.Isoperim, exact[p.ExactCuts])
+	return b.String()
+}

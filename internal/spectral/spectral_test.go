@@ -1,0 +1,388 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLazyWalkMatrixIsStochastic(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(9), graph.Complete(6), graph.Star(7), graph.Path(5),
+	} {
+		m := LazyWalkMatrix(g)
+		if err := m.RowStochasticError(); err > 1e-12 {
+			t.Fatalf("row sums off by %v", err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if m.At(v, v) < 0.5-1e-12 {
+				t.Fatalf("laziness violated at %d: %v", v, m.At(v, v))
+			}
+		}
+	}
+}
+
+func TestDenseMulIdentity(t *testing.T) {
+	g := graph.Cycle(6)
+	p := LazyWalkMatrix(g)
+	id := Identity(6)
+	q := p.Mul(id)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if !almostEqual(p.At(i, j), q.At(i, j), 1e-15) {
+				t.Fatalf("P*I != P at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDenseMulVecLeftPreservesMass(t *testing.T) {
+	g := graph.Complete(5)
+	p := LazyWalkMatrix(g)
+	x := []float64{1, 0, 0, 0, 0}
+	for step := 0; step < 10; step++ {
+		x = p.MulVecLeft(x)
+		sum := 0.0
+		for _, v := range x {
+			sum += v
+		}
+		if !almostEqual(sum, 1, 1e-12) {
+			t.Fatalf("mass leaked at step %d: %v", step, sum)
+		}
+	}
+}
+
+func TestDenseMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(3).Mul(NewDense(4))
+}
+
+func TestSecondEigenvalueCycleClosedForm(t *testing.T) {
+	// Lazy walk on C_n: eigenvalues 1/2 + cos(2πk/n)/2; λ₂ at k=1.
+	for _, n := range []int{8, 16, 32} {
+		want := 0.5 + 0.5*math.Cos(2*math.Pi/float64(n))
+		got := SecondEigenvalue(graph.Cycle(n))
+		if !almostEqual(got, want, 1e-6) {
+			t.Fatalf("C_%d lambda2 = %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestSecondEigenvalueCompleteClosedForm(t *testing.T) {
+	// Lazy walk on K_n: non-top eigenvalues all 1/2 - 1/(2(n-1)).
+	for _, n := range []int{5, 10, 20} {
+		want := 0.5 - 0.5/float64(n-1)
+		got := SecondEigenvalue(graph.Complete(n))
+		if !almostEqual(got, want, 1e-6) {
+			t.Fatalf("K_%d lambda2 = %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestSecondEigenvalueInUnitInterval(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint64) bool {
+		g, err := graph.GNPConnected(15, 0.35, r.Split(seed))
+		if err != nil {
+			return true // skip rare disconnected draws
+		}
+		l := SecondEigenvalue(g)
+		return l > 0 && l < 1
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	g := graph.Star(6)
+	pi := Stationary(g)
+	sum := 0.0
+	for _, p := range pi {
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("stationary mass %v", sum)
+	}
+	// Hub has degree 5 of total 2m=10.
+	if !almostEqual(pi[0], 0.5, 1e-12) {
+		t.Fatalf("hub mass %v want 0.5", pi[0])
+	}
+	// Stationarity: pi P = pi.
+	p := LazyWalkMatrix(g)
+	next := p.MulVecLeft(pi)
+	for i := range pi {
+		if !almostEqual(next[i], pi[i], 1e-12) {
+			t.Fatalf("pi not stationary at %d", i)
+		}
+	}
+}
+
+func TestMixingTimeCompleteIsSmall(t *testing.T) {
+	tm := MixingTimeExact(graph.Complete(8), 1000)
+	if tm < 1 || tm > 16 {
+		t.Fatalf("K8 mixing time %d out of expected range", tm)
+	}
+}
+
+func TestMixingTimeMonotoneInCycleSize(t *testing.T) {
+	t8 := MixingTimeExact(graph.Cycle(8), 100000)
+	t16 := MixingTimeExact(graph.Cycle(16), 100000)
+	t32 := MixingTimeExact(graph.Cycle(32), 100000)
+	if !(t8 < t16 && t16 < t32) {
+		t.Fatalf("cycle mixing times not increasing: %d %d %d", t8, t16, t32)
+	}
+	// Quadratic growth: t32/t16 should be near 4 (within a factor).
+	ratio := float64(t32) / float64(t16)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("cycle mixing growth ratio %v not ~4", ratio)
+	}
+}
+
+func TestMixingTimeExactMatchesDefinition(t *testing.T) {
+	g := graph.Cycle(8)
+	tm := MixingTimeExact(g, 10000)
+	pi := Stationary(g)
+	p := LazyWalkMatrix(g)
+	// P^(tm) mixes, P^(tm-1) does not.
+	pow := Identity(g.N())
+	for i := 0; i < tm-1; i++ {
+		pow = pow.Mul(p)
+	}
+	if withinMixingTolerance(pow, pi) {
+		t.Fatal("P^(tmix-1) already mixed")
+	}
+	pow = pow.Mul(p)
+	if !withinMixingTolerance(pow, pi) {
+		t.Fatal("P^tmix not mixed")
+	}
+}
+
+func TestMixingTimeExactHonorsCap(t *testing.T) {
+	if got := MixingTimeExact(graph.Cycle(64), 10); got != 10 {
+		t.Fatalf("cap ignored: %d", got)
+	}
+}
+
+func TestMixingTimeSpectralUpperBoundsExact(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(16), graph.Complete(12), graph.Hypercube(4)} {
+		exact := MixingTimeExact(g, 1000000)
+		spec := MixingTimeSpectral(g)
+		if spec < exact {
+			t.Fatalf("spectral estimate %d below exact %d", spec, exact)
+		}
+		if spec > exact*200 {
+			t.Fatalf("spectral estimate %d too loose vs exact %d", spec, exact)
+		}
+	}
+}
+
+func TestConductanceCycleClosedForm(t *testing.T) {
+	// Φ(C_n) = 2 / (2·floor(n/2)·... volume of half = n for even n): 2/n.
+	g := graph.Cycle(10)
+	want := 2.0 / 10.0
+	if got := ConductanceExact(g); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("cycle conductance %v want %v", got, want)
+	}
+}
+
+func TestConductanceCompleteClosedForm(t *testing.T) {
+	// K_n even n: cut n/2: edges (n/2)² over vol (n/2)(n-1).
+	n := 8
+	g := graph.Complete(n)
+	want := float64(n*n/4) / float64(n/2*(n-1))
+	if got := ConductanceExact(g); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("K%d conductance %v want %v", n, got, want)
+	}
+}
+
+func TestIsoperimetricClosedForms(t *testing.T) {
+	// i(C_n) for even n: 2/(n/2) = 4/n.
+	if got := IsoperimetricExact(graph.Cycle(12)); !almostEqual(got, 4.0/12.0, 1e-12) {
+		t.Fatalf("cycle isoperimetric %v want %v", got, 4.0/12.0)
+	}
+	// i(K_n) = ceil(n/2): cut n/2 gives (n/2)²/(n/2) = n/2.
+	if got := IsoperimetricExact(graph.Complete(8)); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("K8 isoperimetric %v want 4", got)
+	}
+	// i(Star_n): singleton leaf cut = 1.
+	if got := IsoperimetricExact(graph.Star(8)); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("star isoperimetric %v want 1", got)
+	}
+}
+
+func TestIsoperimetricLowerBound(t *testing.T) {
+	// i(G) >= 2/n for connected graphs (paper's Corollary 1 argument).
+	r := rng.New(2)
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := graph.GNPConnected(12, 0.3, r.Split(seed))
+		if err != nil {
+			continue
+		}
+		if got := IsoperimetricExact(g); got < 2.0/float64(g.N())-1e-12 {
+			t.Fatalf("isoperimetric %v below 2/n", got)
+		}
+	}
+}
+
+func TestSweepCutUpperBoundsExact(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(14), graph.Complete(10), graph.Barbell(5, 3), graph.Star(10),
+	} {
+		exactPhi := ConductanceExact(g)
+		exactIso := IsoperimetricExact(g)
+		sweepPhi, sweepIso := SweepCut(g)
+		if sweepPhi < exactPhi-1e-9 {
+			t.Fatalf("sweep conductance %v below exact %v", sweepPhi, exactPhi)
+		}
+		if sweepIso < exactIso-1e-9 {
+			t.Fatalf("sweep isoperimetric %v below exact %v", sweepIso, exactIso)
+		}
+	}
+}
+
+func TestSweepCutTightOnSymmetricFamilies(t *testing.T) {
+	// On cycles and barbells the Fiedler sweep finds the optimal cut.
+	g := graph.Cycle(16)
+	sweepPhi, _ := SweepCut(g)
+	if !almostEqual(sweepPhi, ConductanceExact(g), 1e-9) {
+		t.Fatalf("sweep not tight on cycle: %v vs %v", sweepPhi, ConductanceExact(g))
+	}
+	bb := graph.Barbell(6, 4)
+	if bb.N() > ExactCutLimit {
+		t.Fatalf("test graph too large for exact check")
+	}
+	sweepPhiB, _ := SweepCut(bb)
+	exactB := ConductanceExact(bb)
+	if sweepPhiB > exactB*1.5+1e-9 {
+		t.Fatalf("sweep loose on barbell: %v vs %v", sweepPhiB, exactB)
+	}
+}
+
+func TestCheegerBoundsHold(t *testing.T) {
+	// gap/2 <= φ(P) <= sqrt(2·gap) for the lazy chain, φ(P) = Φ/2.
+	for _, g := range []*graph.Graph{graph.Cycle(12), graph.Complete(8), graph.Hypercube(3)} {
+		lo, hi := CheegerBounds(g)
+		phi := ChainConductance(g)
+		if phi < lo-1e-9 || phi > hi+1e-9 {
+			t.Fatalf("chain conductance %v outside Cheeger [%v, %v]", phi, lo, hi)
+		}
+	}
+}
+
+func TestEnumerateCutsPanicsBeyondLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ConductanceExact(graph.Cycle(ExactCutLimit + 2))
+}
+
+func TestCutEdges(t *testing.T) {
+	g := graph.Cycle(6)
+	inS := []bool{true, true, true, false, false, false}
+	if got := CutEdges(g, inS); got != 2 {
+		t.Fatalf("cycle half cut %d want 2", got)
+	}
+}
+
+func TestProfileGraph(t *testing.T) {
+	g := graph.Cycle(12)
+	p, err := ProfileGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 12 || p.M != 12 || p.Diameter != 6 {
+		t.Fatalf("profile basics wrong: %+v", p)
+	}
+	if !p.ExactMixing || !p.ExactCuts {
+		t.Fatal("small graph should get exact quantities")
+	}
+	if !almostEqual(p.Conductance, 2.0/12, 1e-12) {
+		t.Fatalf("profile conductance %v", p.Conductance)
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestProfileRejectsDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, err := ProfileGraph(b.Graph()); err == nil {
+		t.Fatal("expected error for disconnected graph")
+	}
+}
+
+func TestSpectralGapOrdersFamilies(t *testing.T) {
+	// Expander-like families mix faster than cycles of the same size.
+	cyc := SpectralGap(graph.Cycle(16))
+	hyp := SpectralGap(graph.Hypercube(4))
+	kom := SpectralGap(graph.Complete(16))
+	if !(cyc < hyp && hyp < kom) {
+		t.Fatalf("gap ordering violated: cycle=%v hypercube=%v complete=%v", cyc, hyp, kom)
+	}
+}
+
+func BenchmarkSecondEigenvalue(b *testing.B) {
+	g := graph.Cycle(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SecondEigenvalue(g)
+	}
+}
+
+func BenchmarkMixingTimeExact(b *testing.B) {
+	g := graph.Cycle(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MixingTimeExact(g, 1<<20)
+	}
+}
+
+func BenchmarkConductanceExact(b *testing.B) {
+	g := graph.Cycle(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ConductanceExact(g)
+	}
+}
+
+func TestSweepCutCheegerConsistency(t *testing.T) {
+	// Property: the sweep-cut Φ upper bound must be consistent with the
+	// Cheeger lower bound gap/2 <= φ(P) = Φ/2, i.e. sweepΦ >= gap.
+	r := rng.New(31)
+	if err := quick.Check(func(seed uint64) bool {
+		g, err := graph.GNPConnected(14, 0.35, r.Split(seed))
+		if err != nil {
+			return true
+		}
+		sweepPhi, _ := SweepCut(g)
+		return sweepPhi >= SpectralGap(g)-1e-9
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixingTimeInvariantUnderPortPermutation(t *testing.T) {
+	// Mixing time is a graph property: relabeling ports must not change it.
+	r := rng.New(12)
+	g, err := graph.RandomRegular(24, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := g.PermutePorts(r.Split(5))
+	if a, b := MixingTime(g), MixingTime(perm); a != b {
+		t.Fatalf("mixing time changed under port permutation: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, success-rate confidence
+// intervals, and log-log regression for empirical scaling exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics; an empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation of
+// the sorted sample. An empty sample yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Wilson returns the Wilson-score confidence interval for a binomial
+// success rate at ~95% confidence (z = 1.96).
+func Wilson(successes, trials int) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - margin
+	hi = center + margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// LogLogSlope fits y = a·x^b by least squares in log-log space and returns
+// the exponent b with the fit's R². Points with non-positive coordinates
+// are skipped. Fewer than two usable points yield (0, 0).
+func LogLogSlope(xs, ys []float64) (slope, r2 float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0
+	}
+	n := float64(len(lx))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+		syy += ly[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	// R² from the correlation coefficient.
+	varY := n*syy - sy*sy
+	if varY == 0 {
+		return slope, 1
+	}
+	r := (n*sxy - sx*sy) / math.Sqrt(den*varY)
+	return slope, r * r
+}
+
+// GeoMean returns the geometric mean of positive samples (0 if none).
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.Median != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 %v", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("median %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile sorted caller slice")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	if err := quick.Check(func(raw []float64, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = float64(i)
+			}
+		}
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(raw, a) <= Quantile(raw, b)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilson(t *testing.T) {
+	lo, hi := Wilson(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v, %v] should contain 0.5", lo, hi)
+	}
+	if lo < 0.39 || hi > 0.61 {
+		t.Fatalf("interval [%v, %v] too wide for n=100", lo, hi)
+	}
+	lo0, hi0 := Wilson(0, 10)
+	if lo0 != 0 || hi0 < 0.2 {
+		t.Fatalf("zero-successes interval [%v, %v]", lo0, hi0)
+	}
+	loAll, hiAll := Wilson(10, 10)
+	if hiAll != 1 || loAll > 0.8 {
+		t.Fatalf("all-successes interval [%v, %v]", loAll, hiAll)
+	}
+	loE, hiE := Wilson(0, 0)
+	if loE != 0 || hiE != 1 {
+		t.Fatalf("empty interval [%v, %v]", loE, hiE)
+	}
+}
+
+func TestWilsonInUnitInterval(t *testing.T) {
+	if err := quick.Check(func(s, n uint8) bool {
+		trials := int(n)
+		succ := int(s)
+		if succ > trials {
+			succ = trials
+		}
+		lo, hi := Wilson(succ, trials)
+		return lo >= 0 && hi <= 1 && lo <= hi
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogLogSlopeExactPowerLaw(t *testing.T) {
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 1.7))
+	}
+	slope, r2 := LogLogSlope(xs, ys)
+	if math.Abs(slope-1.7) > 1e-9 {
+		t.Fatalf("slope %v want 1.7", slope)
+	}
+	if r2 < 0.999999 {
+		t.Fatalf("r2 %v", r2)
+	}
+}
+
+func TestLogLogSlopeSkipsNonPositive(t *testing.T) {
+	slope, r2 := LogLogSlope([]float64{0, -1, 2, 4}, []float64{1, 1, 4, 16})
+	if math.Abs(slope-2) > 1e-9 || r2 < 0.99 {
+		t.Fatalf("slope %v r2 %v", slope, r2)
+	}
+}
+
+func TestLogLogSlopeDegenerate(t *testing.T) {
+	if s, r := LogLogSlope([]float64{5}, []float64{5}); s != 0 || r != 0 {
+		t.Fatalf("single point: %v %v", s, r)
+	}
+	if s, r := LogLogSlope([]float64{3, 3}, []float64{1, 9}); s != 0 || r != 0 {
+		t.Fatalf("vertical line: %v %v", s, r)
+	}
+}
+
+func TestLogLogSlopePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogLogSlope([]float64{1}, []float64{1, 2})
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean %v want 4", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Fatalf("geomean of nonpositives %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("empty geomean %v", g)
+	}
+}

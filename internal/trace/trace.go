@@ -1,0 +1,173 @@
+// Package trace provides lightweight execution tracing for the simulator:
+// bounded in-memory event recording with per-kind counters, used to debug
+// protocol runs and to let tests assert on internal protocol events
+// without widening protocol APIs.
+//
+// Recording is opt-in per network (sim.Config.Trace); when disabled, the
+// protocol-side logging calls are no-ops with negligible cost.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Event is one recorded protocol or simulator event.
+type Event struct {
+	// Round is the synchronous round of the event (-1 for Init).
+	Round int
+	// Node is the emitting node's index (simulation-side observability;
+	// protocols themselves never see indices).
+	Node int
+	// Kind groups events for counting and filtering (e.g. "invite",
+	// "stop", "leader").
+	Kind string
+	// Detail is free-form context.
+	Detail string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("r%d n%d %s", e.Round, e.Node, e.Kind)
+	}
+	return fmt.Sprintf("r%d n%d %s: %s", e.Round, e.Node, e.Kind, e.Detail)
+}
+
+// Recorder receives events. Implementations must be safe for concurrent
+// Record calls (parallel schedulers emit from worker goroutines).
+type Recorder interface {
+	Record(Event)
+}
+
+// Ring is a bounded in-memory recorder keeping the most recent events and
+// cumulative per-kind counts. The zero value is not usable; construct with
+// NewRing.
+type Ring struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	filled bool
+	counts map[string]int64
+	total  int64
+}
+
+// NewRing returns a recorder retaining the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{
+		buf:    make([]Event, capacity),
+		counts: make(map[string]int64),
+	}
+}
+
+// Record implements Recorder.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+	r.counts[e.Kind]++
+	r.total++
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever recorded.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Count returns the cumulative count for a kind.
+func (r *Ring) Count(kind string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[kind]
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.filled {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns retained events of the given kind, oldest first.
+func (r *Ring) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events one per line.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Counting is a Recorder that keeps only per-kind counters (no event
+// retention) — cheap enough for long runs.
+type Counting struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounting returns an empty counting recorder.
+func NewCounting() *Counting {
+	return &Counting{counts: make(map[string]int64)}
+}
+
+// Record implements Recorder.
+func (c *Counting) Record(e Event) {
+	c.mu.Lock()
+	c.counts[e.Kind]++
+	c.mu.Unlock()
+}
+
+// Count returns the cumulative count for a kind.
+func (c *Counting) Count(kind string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[kind]
+}
+
+// Kinds returns the recorded kinds (unordered).
+func (c *Counting) Kinds() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	return out
+}

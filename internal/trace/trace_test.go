@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingRetention(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Round: i, Kind: "k"})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d want 5", r.Total())
+	}
+	evs := r.Events()
+	for i, want := range []int{2, 3, 4} {
+		if evs[i].Round != want {
+			t.Fatalf("event %d round %d want %d (oldest-first order)", i, evs[i].Round, want)
+		}
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{Round: 1, Kind: "a"})
+	r.Record(Event{Round: 2, Kind: "b"})
+	if r.Len() != 2 {
+		t.Fatalf("len %d", r.Len())
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Round != 1 || evs[1].Round != 2 {
+		t.Fatalf("events %v", evs)
+	}
+}
+
+func TestRingCounts(t *testing.T) {
+	r := NewRing(2)
+	r.Record(Event{Kind: "a"})
+	r.Record(Event{Kind: "a"})
+	r.Record(Event{Kind: "b"})
+	if r.Count("a") != 2 || r.Count("b") != 1 || r.Count("c") != 0 {
+		t.Fatalf("counts a=%d b=%d c=%d", r.Count("a"), r.Count("b"), r.Count("c"))
+	}
+}
+
+func TestRingFilterAndDump(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Round: 0, Node: 1, Kind: "x", Detail: "hello"})
+	r.Record(Event{Round: 1, Node: 2, Kind: "y"})
+	if got := r.Filter("x"); len(got) != 1 || got[0].Detail != "hello" {
+		t.Fatalf("filter %v", got)
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "r0 n1 x: hello") || !strings.Contains(dump, "r1 n2 y") {
+		t.Fatalf("dump:\n%s", dump)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Record(Event{Kind: "a"})
+	r.Record(Event{Kind: "b"})
+	if r.Len() != 1 {
+		t.Fatalf("len %d want 1", r.Len())
+	}
+}
+
+func TestRingConcurrentRecord(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: "k"})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 || r.Count("k") != 800 {
+		t.Fatalf("total %d count %d", r.Total(), r.Count("k"))
+	}
+}
+
+func TestCountingRecorder(t *testing.T) {
+	c := NewCounting()
+	c.Record(Event{Kind: "a"})
+	c.Record(Event{Kind: "b"})
+	c.Record(Event{Kind: "a"})
+	if c.Count("a") != 2 || c.Count("b") != 1 {
+		t.Fatal("counts wrong")
+	}
+	if len(c.Kinds()) != 2 {
+		t.Fatalf("kinds %v", c.Kinds())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Round: 3, Node: 7, Kind: "leader"}
+	if e.String() != "r3 n7 leader" {
+		t.Fatalf("string %q", e.String())
+	}
+}

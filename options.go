@@ -1,0 +1,111 @@
+package anonlead
+
+import "math"
+
+// options aggregates all election tunables; zero values select the
+// defaults documented on the With* constructors.
+type options struct {
+	seed          uint64
+	parallel      bool
+	constant      float64
+	walks         int
+	walkFactor    float64
+	mixingTime    int
+	conductance   float64
+	epsilon       float64
+	xi            float64
+	isoperimetric float64
+	fMult         float64
+	rMult         float64
+	maxRounds     int
+}
+
+// Option customizes an election. Options are applied in order; later
+// options win.
+type Option func(*options)
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithSeed fixes the root random seed. Elections are deterministic in the
+// seed; distinct seeds give independent elections. Default 0.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithParallel runs node steps on a goroutine worker pool. Results are
+// bit-identical to the sequential scheduler.
+func WithParallel(parallel bool) Option {
+	return func(o *options) { o.parallel = parallel }
+}
+
+// WithConstant sets the analysis constant c scaling candidate rate, walk
+// length and broadcast length in Elect (paper Section 4, "sufficiently
+// large c"). Default 2.
+func WithConstant(c float64) Option {
+	return func(o *options) { o.constant = c }
+}
+
+// WithWalks overrides the number x of random walks per candidate in Elect.
+// Default: the paper's x = √(n·log n/(Φ·tmix)).
+func WithWalks(x int) Option {
+	return func(o *options) { o.walks = x }
+}
+
+// WithWalkFactor scales the automatic walk count (ignored after
+// WithWalks). Default 1.
+func WithWalkFactor(f float64) Option {
+	return func(o *options) { o.walkFactor = f }
+}
+
+// WithMixingTime overrides the mixing-time input of Elect (the paper
+// needs only a linear upper bound). Default: the network's profiled tmix.
+func WithMixingTime(t int) Option {
+	return func(o *options) { o.mixingTime = t }
+}
+
+// WithConductance overrides the conductance input of Elect. Default: the
+// network's profiled Φ.
+func WithConductance(phi float64) Option {
+	return func(o *options) { o.conductance = phi }
+}
+
+// WithEpsilon sets the paper's ε ∈ (0,1] for ElectRevocable. Default 0.5.
+func WithEpsilon(eps float64) Option {
+	return func(o *options) { o.epsilon = eps }
+}
+
+// WithXi sets the paper's error parameter ξ ∈ (0,1) in f(k) for
+// ElectRevocable. Default 0.5.
+func WithXi(xi float64) Option {
+	return func(o *options) { o.xi = xi }
+}
+
+// WithIsoperimetric provides a known lower bound on i(G) to
+// ElectRevocable, selecting the Theorem 3 diffusion schedule instead of
+// the fully blind Corollary 1 schedule.
+func WithIsoperimetric(iso float64) Option {
+	return func(o *options) { o.isoperimetric = iso }
+}
+
+// WithCalibration scales the revocable protocol's certification count f(k)
+// and diffusion length r(k); 1,1 is the faithful schedule. Calibrated runs
+// (see EXPERIMENTS.md) keep success rates while making larger networks
+// simulable.
+func WithCalibration(fMult, rMult float64) Option {
+	return func(o *options) { o.fMult, o.rMult = fMult, rMult }
+}
+
+// WithMaxRounds caps the rounds ElectRevocable will simulate before
+// reporting a stabilization failure. Default 2e8.
+func WithMaxRounds(rounds int) Option {
+	return func(o *options) { o.maxRounds = rounds }
+}
+
+// pow1e returns x^(1+eps), shared by the stabilization predicate.
+func pow1e(x, eps float64) float64 { return math.Pow(x, 1+eps) }

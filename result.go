@@ -1,0 +1,73 @@
+package anonlead
+
+import "anonlead/internal/sim"
+
+// Result reports the outcome and cost of an election.
+type Result struct {
+	// Leaders lists the node indices that raised the leader flag. The
+	// indices are simulation-side observability only: the nodes
+	// themselves remain anonymous.
+	Leaders []int
+	// Unique reports whether exactly one leader was elected.
+	Unique bool
+	// Rounds is the number of synchronous rounds simulated.
+	Rounds int
+	// ChargedRounds is the CONGEST time: link traffic serialized into
+	// O(log n)-bit slots.
+	ChargedRounds int64
+	// Messages is the number of point-to-point messages sent.
+	Messages int64
+	// Bits is the total number of payload bits sent.
+	Bits int64
+}
+
+// LeaderCount returns the number of elected leaders.
+func (r Result) LeaderCount() int { return len(r.Leaders) }
+
+// Certificate is a revocable leader certificate: the leader's random ID
+// compounded with the size estimate that was in force when it was chosen.
+// Larger Estimate wins; ties break toward smaller ID.
+type Certificate struct {
+	ID       uint64
+	Estimate uint64
+}
+
+// Less reports whether c loses to other under the paper's certificate
+// order (other is a strictly better leader claim).
+func (c Certificate) Less(other Certificate) bool {
+	if c.Estimate != other.Estimate {
+		return c.Estimate < other.Estimate
+	}
+	return c.ID > other.ID
+}
+
+// ExplicitResult reports an explicit election: the implicit outcome plus
+// what every node learned and the announcement spanning tree.
+type ExplicitResult struct {
+	Result
+	// LeaderID is the elected leader's random ID (0 if no leader).
+	LeaderID uint64
+	// AllKnow reports whether the announcement reached every node.
+	AllKnow bool
+	// Parents[v] is v's parent node in the leader-rooted BFS tree (-1 at
+	// the leader and at unreached nodes).
+	Parents []int
+	// Depths[v] is v's hop distance from the leader in the tree.
+	Depths []int
+}
+
+// RevocableResult reports a stabilized revocable election.
+type RevocableResult struct {
+	Result
+	// Certificate is the network-wide agreed leader certificate.
+	Certificate Certificate
+	// FinalEstimate is the size estimate at stabilization.
+	FinalEstimate uint64
+}
+
+// fillMetrics copies simulator accounting into a Result.
+func fillMetrics(r *Result, m sim.Metrics) {
+	r.ChargedRounds = m.ChargedRounds
+	r.Messages = m.Messages
+	r.Bits = m.Bits
+}
