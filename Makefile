@@ -1,0 +1,39 @@
+# Shared entry points for humans and CI (.github/workflows/ci.yml calls
+# exactly these targets, so a green `make ci` locally means a green pipeline).
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent subsystems (simulator schedulers
+# and the experiment orchestrator).
+race:
+	$(GO) test -race ./internal/sim/... ./internal/harness/...
+
+# Bench smoke: every benchmark once. BenchmarkHarnessSweep writes
+# BENCH_harness.json, which CI uploads for cross-PR perf tracking.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint test race bench
+
+clean:
+	rm -f BENCH_harness.json
+	$(GO) clean -testcache

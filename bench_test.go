@@ -14,7 +14,9 @@ package anonlead
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"anonlead/internal/baseline"
 	"anonlead/internal/core"
@@ -247,6 +249,56 @@ func BenchmarkAblationWalks(b *testing.B) {
 			b.ReportMetric(float64(success)/float64(b.N), "successRate")
 		})
 	}
+}
+
+// sweepSpecs is the orchestrator benchmark matrix: a cross-protocol,
+// cross-family slice of the Table 1 workload, including a diameter-2
+// clique-of-cliques cell and a knowledge-ablation cell.
+func sweepSpecs() []harness.CellSpec {
+	opts := harness.TrialOpts{Trials: 4, Seed: 1}
+	return []harness.CellSpec{
+		{Protocol: harness.ProtoIRE, Workload: harness.Workload{Family: "expander", N: 64}, Opts: opts},
+		{Protocol: harness.ProtoIRE, Workload: harness.Workload{Family: "cycle", N: 32}, Opts: opts},
+		{Protocol: harness.ProtoIRE, Workload: harness.Workload{Family: "diam2", N: 33}, Opts: opts},
+		{Protocol: harness.ProtoFlood, Workload: harness.Workload{Family: "complete", N: 32}, Opts: opts},
+		{Protocol: harness.ProtoWalkNotify, Workload: harness.Workload{Family: "expander", N: 64}, Opts: opts},
+		{Protocol: harness.ProtoIRE, Workload: harness.Workload{Family: "expander", N: 64},
+			Opts: harness.TrialOpts{Trials: 4, Seed: 1, PresumedN: 128}},
+	}
+}
+
+// BenchmarkHarnessSweep measures the experiment orchestrator end to end:
+// the same sweep matrix run sequentially and fanned out over the sharded
+// worker pool (bit-identical results; the ratio is the orchestration
+// speedup). The parallel variant emits BENCH_harness.json, which CI
+// uploads for cross-PR perf trajectory tracking.
+func BenchmarkHarnessSweep(b *testing.B) {
+	specs := sweepSpecs()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunSweepSequential(specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		o := harness.Orchestrator{}
+		var cells []harness.Cell
+		start := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if cells, err = o.RunSweep(specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		elapsed := time.Since(start) / time.Duration(b.N)
+		artifact := harness.NewArtifact(o, specs, cells, elapsed)
+		if err := artifact.WriteFile(harness.ArtifactName); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkAblationDiffusion measures the exact diffusion detector sweep

@@ -7,14 +7,27 @@
 //
 //	lebench -exp table1            # all Table 1 rows
 //	lebench -exp figures           # pumping-wheel split-brain series
-//	lebench -exp ablations         # X1-X3 design ablations
+//	lebench -exp ablations         # X1-X4 design ablations
+//	lebench -exp knowledge         # X4 knowledge ablation only
 //	lebench -exp all -quick        # everything, reduced sweep
+//	lebench -exp table1 -parallel  # fan cells/trials over all CPUs
+//	lebench -exp table1 -parallel -shards 8 -json BENCH_harness.json
+//
+// With -parallel, the sweep-based experiments (table1 and the X4
+// knowledge ablation) fan their cells and per-cell trials out over a
+// bounded worker pool; per-trial seeds are split deterministically from
+// -seed, so the output is byte-identical to the sequential run. The
+// figures series and the X1-X3 ablations are bespoke trial loops and
+// always run sequentially. -json records every sweep cell executed during
+// the run in a machine-readable artifact for cross-PR perf trajectory
+// tracking (experiments that run no sweeps contribute no cells).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"anonlead/internal/harness"
 )
@@ -26,33 +39,103 @@ func main() {
 	}
 }
 
+// session carries the flag configuration plus the accumulated sweep
+// results destined for the JSON artifact.
+type session struct {
+	quick    bool
+	trials   int
+	seed     uint64
+	parallel bool
+	orch     harness.Orchestrator
+	jsonPath string
+
+	specs []harness.CellSpec
+	cells []harness.Cell
+	start time.Time
+}
+
+// sweep runs a batch of cell specs through the configured engine and
+// records the results for the artifact.
+func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
+	var (
+		cells []harness.Cell
+		err   error
+	)
+	if s.parallel {
+		cells, err = s.orch.RunSweep(specs)
+	} else {
+		cells, err = harness.RunSweepSequential(specs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.specs = append(s.specs, specs...)
+	s.cells = append(s.cells, cells...)
+	return cells, nil
+}
+
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, figures, ablations, all")
-		quick  = flag.Bool("quick", false, "reduced sweeps for a fast pass")
-		trials = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
-		seed   = flag.Uint64("seed", 1, "root random seed")
+		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, all")
+		quick    = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+		trials   = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		parallel = flag.Bool("parallel", false, "fan sweep cells and trials over a worker pool (table1 and knowledge; bit-identical to sequential)")
+		shards   = flag.Int("shards", 0, "trial shards per cell for -parallel (0 = worker count)")
+		workers  = flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "write the machine-readable sweep artifact (e.g. BENCH_harness.json)")
 	)
 	flag.Parse()
 
+	s := &session{
+		quick:    *quick,
+		trials:   *trials,
+		seed:     *seed,
+		parallel: *parallel,
+		orch:     harness.Orchestrator{Workers: *workers, Shards: *shards},
+		jsonPath: *jsonPath,
+		start:    time.Now(),
+	}
+
+	var err error
 	switch *exp {
 	case "table1":
-		return table1(*quick, *trials, *seed)
+		err = table1(s)
 	case "figures":
-		return figures(*quick, *trials, *seed)
+		err = figures(s)
 	case "ablations":
-		return ablations(*quick, *trials, *seed)
+		err = ablations(s)
+	case "knowledge":
+		err = knowledge(s)
 	case "all":
-		if err := table1(*quick, *trials, *seed); err != nil {
-			return err
+		for _, f := range []func(*session) error{table1, figures, ablations} {
+			if err = f(s); err != nil {
+				break
+			}
 		}
-		if err := figures(*quick, *trials, *seed); err != nil {
-			return err
-		}
-		return ablations(*quick, *trials, *seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if err != nil {
+		return err
+	}
+	if s.jsonPath != "" {
+		if len(s.cells) == 0 {
+			fmt.Fprintf(os.Stderr, "lebench: note: -exp %s ran no sweeps, so the artifact has no cells (table1 and knowledge populate it)\n", *exp)
+		}
+		// Record the engine the cells actually ran on: a sequential run is
+		// one worker and one shard regardless of how the pool is sized.
+		engine := s.orch
+		if !s.parallel {
+			engine = harness.Orchestrator{Workers: 1, Shards: 1}
+		}
+		artifact := harness.NewArtifact(engine, s.specs, s.cells, time.Since(s.start))
+		if err := artifact.WriteFile(s.jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", s.jsonPath, len(s.cells))
+	}
+	return nil
 }
 
 func pick(quick bool, full, reduced []int) []int {
@@ -70,12 +153,15 @@ func pickTrials(override, def int) int {
 }
 
 // table1 regenerates the Table 1 rows: T1-a (IRE), T1-b (Gilbert-class),
-// T1-c (flooding class), T1-d (revocable).
-func table1(quick bool, trialsOverride int, seed uint64) error {
-	trials := pickTrials(trialsOverride, 10)
-	if quick {
-		trials = pickTrials(trialsOverride, 5)
+// T1-c (flooding class), T1-d (revocable), plus the diameter-2
+// clique-of-cliques cells motivated by the Chatterjee et al. chasm. All
+// sweeps are expanded into one spec list so -parallel overlaps every cell.
+func table1(s *session) error {
+	trials := pickTrials(s.trials, 10)
+	if s.quick {
+		trials = pickTrials(s.trials, 5)
 	}
+	opts := harness.TrialOpts{Trials: trials, Seed: s.seed}
 	type sweep struct {
 		title  string
 		proto  harness.Protocol
@@ -84,69 +170,77 @@ func table1(quick bool, trialsOverride int, seed uint64) error {
 	}
 	sweeps := []sweep{
 		{"T1-a IRE (this work) on expanders", harness.ProtoIRE, "expander",
-			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
 		{"T1-a IRE (this work) on hypercubes", harness.ProtoIRE, "hypercube",
-			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
 		{"T1-a IRE (this work) on cycles", harness.ProtoIRE, "cycle",
-			pick(quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
+			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
 		{"T1-a IRE (this work) on complete graphs", harness.ProtoIRE, "complete",
-			pick(quick, []int{32, 64, 128, 256}, []int{32, 64})},
+			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64})},
+		{"T1-a IRE (this work) on diameter-2 clique-of-cliques", harness.ProtoIRE, "diam2",
+			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65})},
 		{"T1-b Gilbert-class baseline on expanders", harness.ProtoWalkNotify, "expander",
-			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
 		{"T1-b Gilbert-class baseline on cycles", harness.ProtoWalkNotify, "cycle",
-			pick(quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
+			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
 		{"T1-c FloodMax (Kutten-class) on expanders", harness.ProtoFlood, "expander",
-			pick(quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
 		{"T1-c FloodMax (Kutten-class) on complete graphs", harness.ProtoFlood, "complete",
-			pick(quick, []int{32, 64, 128, 256}, []int{32, 64})},
+			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64})},
+		{"T1-c FloodMax (Kutten-class) on diameter-2 clique-of-cliques", harness.ProtoFlood, "diam2",
+			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65})},
 	}
-	for _, s := range sweeps {
-		rows, err := harness.Table1Sweep(s.proto, s.family, s.sizes, harness.TrialOpts{
-			Trials: trials, Seed: seed,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Println(harness.RenderTable1(s.title, rows))
+
+	// One flat spec list; remember each sweep's slice for rendering.
+	var specs []harness.CellSpec
+	bounds := make([][2]int, len(sweeps))
+	for i, sw := range sweeps {
+		lo := len(specs)
+		specs = append(specs, harness.SweepSpecs(sw.proto, sw.family, sw.sizes, opts)...)
+		bounds[i] = [2]int{lo, len(specs)}
 	}
-	return revocableRows(quick, trialsOverride, seed)
+	cells, err := s.sweep(specs)
+	if err != nil {
+		return err
+	}
+	for i, sw := range sweeps {
+		rows := harness.RowsFromCells(cells[bounds[i][0]:bounds[i][1]])
+		fmt.Println(harness.RenderTable1(sw.title, rows))
+	}
+	return revocableRows(s)
 }
 
 // revocableRows regenerates T1-d: the revocable protocol at faithful
 // parameters on tiny complete graphs (where the Theorem 3 polynomials are
 // simulable) and calibrated on cycles.
-func revocableRows(quick bool, trialsOverride int, seed uint64) error {
-	trials := pickTrials(trialsOverride, 5)
-	if quick {
-		trials = pickTrials(trialsOverride, 2)
+func revocableRows(s *session) error {
+	trials := pickTrials(s.trials, 5)
+	if s.quick {
+		trials = pickTrials(s.trials, 2)
 	}
-	sweepSizes := pick(quick, []int{3, 4, 6, 8}, []int{3, 4})
-	rows := make([]harness.Table1Row, 0, len(sweepSizes))
-	for _, n := range sweepSizes {
-		w := harness.Workload{Family: "complete", N: n}
-		// The profile's exact i(G) selects the Theorem 3 schedule.
-		c, err := harness.RunCell(harness.ProtoRevocable, w, harness.TrialOpts{
-			Trials: trials, Seed: seed, RevocableUseProfileIso: true,
-		})
-		if err != nil {
-			return err
-		}
-		rows = append(rows, harness.MakeTable1Row(harness.ProtoRevocable, c))
+	sizes := pick(s.quick, []int{3, 4, 6, 8}, []int{3, 4})
+	// The profile's exact i(G) selects the Theorem 3 schedule.
+	opts := harness.TrialOpts{Trials: trials, Seed: s.seed, RevocableUseProfileIso: true}
+	cells, err := s.sweep(harness.SweepSpecs(harness.ProtoRevocable, "complete", sizes, opts))
+	if err != nil {
+		return err
 	}
-	fmt.Println(harness.RenderTable1("T1-d Revocable LE (this work, faithful Theorem 3 schedule) on complete graphs", rows))
+	fmt.Println(harness.RenderTable1(
+		"T1-d Revocable LE (this work, faithful Theorem 3 schedule) on complete graphs",
+		harness.RowsFromCells(cells)))
 	return nil
 }
 
 // figures regenerates the Figures 1-2 pumping-wheel series.
-func figures(quick bool, trialsOverride int, seed uint64) error {
-	trials := pickTrials(trialsOverride, 20)
+func figures(s *session) error {
+	trials := pickTrials(s.trials, 20)
 	witnesses := []int{1, 2, 4, 8}
 	presumed := 12
-	if quick {
-		trials = pickTrials(trialsOverride, 8)
+	if s.quick {
+		trials = pickTrials(s.trials, 8)
 		witnesses = []int{1, 2, 4}
 	}
-	points, err := harness.SplitBrainExperiment(presumed, witnesses, trials, seed)
+	points, err := harness.SplitBrainExperiment(presumed, witnesses, trials, s.seed)
 	if err != nil {
 		return err
 	}
@@ -154,36 +248,61 @@ func figures(quick bool, trialsOverride int, seed uint64) error {
 	return nil
 }
 
-// ablations regenerates the X1-X3 design ablations.
-func ablations(quick bool, trialsOverride int, seed uint64) error {
-	trials := pickTrials(trialsOverride, 10)
-	if quick {
-		trials = pickTrials(trialsOverride, 4)
+// ablations regenerates the X1-X4 design ablations.
+func ablations(s *session) error {
+	trials := pickTrials(s.trials, 10)
+	if s.quick {
+		trials = pickTrials(s.trials, 4)
 	}
 
 	w := harness.Workload{Family: "expander", N: 128}
-	if quick {
+	if s.quick {
 		w.N = 64
 	}
 	xs := []int{1, 2, 4, 8, 16, 32}
-	points, prof, err := harness.AblationCautious(w, xs, trials, seed)
+	points, prof, err := harness.AblationCautious(w, xs, trials, s.seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println(harness.RenderAblationCautious(w, prof, points))
 
 	factors := []float64{0.25, 0.5, 1, 2, 4}
-	wpoints, prof2, err := harness.AblationWalks(w, factors, trials, seed)
+	wpoints, prof2, err := harness.AblationWalks(w, factors, trials, s.seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println(harness.RenderAblationWalks(w, prof2, wpoints))
 
 	dw := harness.Workload{Family: "cycle", N: 16}
-	dpoints, err := harness.AblationDiffusion(dw, 0.5, 64, seed)
+	dpoints, err := harness.AblationDiffusion(dw, 0.5, 64, s.seed)
 	if err != nil {
 		return err
 	}
 	fmt.Println(harness.RenderAblationDiffusion(dw, dpoints))
+
+	return knowledge(s)
+}
+
+// knowledge regenerates the X4 knowledge ablation (after Dieudonné-Pelc)
+// on an expander and on the diameter-2 clique-of-cliques.
+func knowledge(s *session) error {
+	trials := pickTrials(s.trials, 10)
+	if s.quick {
+		trials = pickTrials(s.trials, 4)
+	}
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	workloads := []harness.Workload{
+		{Family: "expander", N: pick(s.quick, []int{128}, []int{64})[0]},
+		{Family: "diam2", N: pick(s.quick, []int{65}, []int{33})[0]},
+	}
+	for _, w := range workloads {
+		specs := harness.KnowledgeSpecs(w, factors, trials, s.seed)
+		cells, err := s.sweep(specs)
+		if err != nil {
+			return err
+		}
+		points, prof := harness.KnowledgePoints(factors, specs, cells)
+		fmt.Println(harness.RenderAblationKnowledge(w, prof, points))
+	}
 	return nil
 }

@@ -2,11 +2,16 @@
 //
 // Runs the paper's Irrevocable LE (Õ(√(n·tmix/Φ)) messages), the
 // Gilbert-class walk baseline (Õ(tmix·√n)), and the Kutten-class FloodMax
-// baseline (Θ(m) messages, Θ(D) rounds) on an expander and a cycle, and
-// prints the message/time comparison that Table 1 formalizes: flooding is
-// cheap on time but pays m messages; the walk protocols win on messages
-// on well-connected graphs; our protocol's √(tmix·Φ) advantage over the
-// Gilbert class is largest on poorly conducting graphs like the cycle.
+// baseline (Θ(m) messages, Θ(D) rounds) on an expander, a cycle, and the
+// diameter-2 clique-of-cliques, and prints the message/time comparison
+// that Table 1 formalizes: flooding is cheap on time but pays m messages;
+// the walk protocols win on messages on well-connected graphs; our
+// protocol's √(tmix·Φ) advantage over the Gilbert class is largest on
+// poorly conducting graphs like the cycle.
+//
+// The whole comparison matrix is expressed as one spec list and executed
+// by the experiment orchestrator, which fans cells and trials out over all
+// CPUs — with output bit-identical to a sequential loop.
 //
 //	go run ./examples/topology-compare
 package main
@@ -19,26 +24,48 @@ import (
 )
 
 func main() {
-	for _, family := range []string{"expander", "cycle"} {
-		sizes := []int{32, 64}
-		if family == "expander" {
-			sizes = []int{64, 128}
+	families := []struct {
+		name  string
+		sizes []int
+	}{
+		{"expander", []int{64, 128}},
+		{"cycle", []int{32, 64}},
+		{"diam2", []int{33, 65}},
+	}
+	protos := []harness.Protocol{
+		harness.ProtoIRE, harness.ProtoWalkNotify, harness.ProtoFlood,
+	}
+
+	// One flat spec list over family × size × protocol.
+	var specs []harness.CellSpec
+	for _, fam := range families {
+		for _, n := range fam.sizes {
+			for _, proto := range protos {
+				specs = append(specs, harness.CellSpec{
+					Protocol: proto,
+					Workload: harness.Workload{Family: fam.name, N: n},
+					Opts:     harness.TrialOpts{Trials: 5, Seed: 11},
+				})
+			}
 		}
-		fmt.Printf("=== %s ===\n", family)
+	}
+	cells, err := harness.Orchestrator{}.RunSweep(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	i := 0
+	for _, fam := range families {
+		fmt.Printf("=== %s ===\n", fam.name)
 		t := harness.Table{
 			Header: []string{"protocol", "n", "msgs", "rounds", "charged", "success"},
 		}
-		for _, n := range sizes {
-			for _, proto := range []harness.Protocol{
-				harness.ProtoIRE, harness.ProtoWalkNotify, harness.ProtoFlood,
-			} {
-				cell, err := harness.RunCell(proto, harness.Workload{Family: family, N: n},
-					harness.TrialOpts{Trials: 5, Seed: 11})
-				if err != nil {
-					log.Fatal(err)
-				}
-				t.AddRow(string(proto), harness.I(n), harness.F(cell.Messages),
-					harness.F(cell.Rounds), harness.F(cell.Charged),
+		for range fam.sizes {
+			for range protos {
+				cell := cells[i]
+				i++
+				t.AddRow(string(cell.Protocol), harness.I(cell.Workload.N),
+					harness.F(cell.Messages), harness.F(cell.Rounds), harness.F(cell.Charged),
 					fmt.Sprintf("%d/%d", cell.Successes, cell.Trials))
 			}
 		}

@@ -1,0 +1,3 @@
+module anonlead
+
+go 1.21

@@ -173,6 +173,38 @@ func Lollipop(k, tail int) *Graph {
 	return b.Graph()
 }
 
+// CliqueOfCliques returns the diameter-2 "clique of cliques" on n nodes:
+// node 0 is a hub adjacent to every other node, and nodes 1..n-1 are
+// partitioned into k cliques of near-equal size. Any two non-adjacent nodes
+// meet through the hub, so the diameter is exactly 2 (for n >= 4 with
+// k >= 2), while conductance and mixing vary with k — the regime studied by
+// the diameter-two leader election chasm (Chatterjee et al.). Requires
+// n >= 4 and 2 <= k <= n-1.
+func CliqueOfCliques(n, k int) *Graph {
+	if n < 4 || k < 2 || k > n-1 {
+		panic(fmt.Sprintf("graph: clique-of-cliques needs n>=4, 2<=k<=n-1, got n=%d k=%d", n, k))
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	base, extra := (n-1)/k, (n-1)%k
+	start := 1
+	for c := 0; c < k; c++ {
+		size := base
+		if c < extra {
+			size++
+		}
+		for i := start; i < start+size; i++ {
+			for j := i + 1; j < start+size; j++ {
+				b.AddEdge(i, j)
+			}
+		}
+		start += size
+	}
+	return b.Graph()
+}
+
 // maxRegularAttempts bounds full restarts in RandomRegular.
 const maxRegularAttempts = 50
 
@@ -315,7 +347,8 @@ func GNPConnected(n int, p float64, r *rng.RNG) (*Graph, error) {
 // experiment harness. Supported names: cycle, path, complete, star, grid,
 // torus, hypercube (n rounded down to a power of two), tree, barbell,
 // lollipop, regular (degree 4), regular3, regular6, gnp (p = 2 ln n / n),
-// expander (alias for regular6).
+// expander (alias for regular6), diam2 (clique-of-cliques with a hub,
+// k ≈ √(n-1) cliques; alias cliquehub).
 func ByName(name string, n int, r *rng.RNG) (*Graph, error) {
 	switch name {
 	case "cycle":
@@ -368,6 +401,15 @@ func ByName(name string, n int, r *rng.RNG) (*Graph, error) {
 		return RandomRegular(n, d, r)
 	case "regular6", "expander":
 		return RandomRegular(n, 6, r)
+	case "diam2", "cliquehub":
+		if n < 4 {
+			return nil, fmt.Errorf("graph: diam2 needs n>=4, got %d", n)
+		}
+		k := int(math.Sqrt(float64(n - 1)))
+		if k < 2 {
+			k = 2
+		}
+		return CliqueOfCliques(n, k), nil
 	case "gnp":
 		p := 2.0 * math.Log(float64(n)) / float64(n)
 		return GNPConnected(n, p, r)
@@ -381,7 +423,7 @@ func FamilyNames() []string {
 	return []string{
 		"cycle", "path", "complete", "star", "grid", "torus", "hypercube",
 		"tree", "barbell", "lollipop", "regular", "regular3", "regular6",
-		"expander", "gnp",
+		"expander", "gnp", "diam2",
 	}
 }
 

@@ -397,3 +397,34 @@ func TestRepairPairsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCliqueOfCliques(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{4, 2}, {17, 4}, {33, 5}, {64, 7}, {100, 9},
+	} {
+		g := CliqueOfCliques(tc.n, tc.k)
+		if g.N() != tc.n {
+			t.Fatalf("n=%d k=%d: got %d nodes", tc.n, tc.k, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if d := g.Diameter(); d != 2 {
+			t.Fatalf("n=%d k=%d: diameter %d, want 2", tc.n, tc.k, d)
+		}
+		// The hub reaches everyone directly.
+		if g.Degree(0) != tc.n-1 {
+			t.Fatalf("n=%d k=%d: hub degree %d", tc.n, tc.k, g.Degree(0))
+		}
+	}
+	for _, bad := range []struct{ n, k int }{{3, 2}, {5, 1}, {5, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("CliqueOfCliques(%d,%d) did not panic", bad.n, bad.k)
+				}
+			}()
+			CliqueOfCliques(bad.n, bad.k)
+		}()
+	}
+}

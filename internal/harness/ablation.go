@@ -156,6 +156,89 @@ func RenderAblationWalks(w Workload, prof *spectral.Profile, points []WalkPoint)
 	return t.String()
 }
 
+// KnowledgePoint is one point of the knowledge ablation (experiment X4):
+// the IRE protocol run with a misreported network size presumed = factor·n,
+// after Dieudonné & Pelc's study of how knowledge of n impacts election
+// time in anonymous networks. The graph (and its true tmix, Φ) stays fixed;
+// only the size the nodes are told changes.
+type KnowledgePoint struct {
+	Factor    float64
+	PresumedN int
+	Trials    int
+	Successes int
+	Messages  float64
+	Rounds    float64
+}
+
+// KnowledgeSpecs expands a presumed-size sweep into orchestrator cell
+// specs: each factor is one workload cell with PresumedN = factor·n
+// (clamped to 2). Trial seeds are shared across factors for a paired
+// comparison.
+func KnowledgeSpecs(w Workload, factors []float64, trials int, seed uint64) []CellSpec {
+	specs := make([]CellSpec, len(factors))
+	for i, f := range factors {
+		presumed := int(f * float64(w.N))
+		if presumed < 2 {
+			presumed = 2
+		}
+		specs[i] = CellSpec{
+			Protocol: ProtoIRE,
+			Workload: w,
+			Opts:     TrialOpts{Trials: trials, Seed: seed, PresumedN: presumed},
+		}
+	}
+	return specs
+}
+
+// KnowledgePoints pairs the cells of a KnowledgeSpecs sweep with their
+// factors and presumed sizes.
+func KnowledgePoints(factors []float64, specs []CellSpec, cells []Cell) ([]KnowledgePoint, *spectral.Profile) {
+	points := make([]KnowledgePoint, len(cells))
+	for i, c := range cells {
+		points[i] = KnowledgePoint{
+			Factor:    factors[i],
+			PresumedN: specs[i].Opts.PresumedN,
+			Trials:    c.Trials,
+			Successes: c.Successes,
+			Messages:  c.Messages,
+			Rounds:    c.Rounds,
+		}
+	}
+	var prof *spectral.Profile
+	if len(cells) > 0 {
+		prof = cells[0].Profile
+	}
+	return points, prof
+}
+
+// AblationKnowledge sweeps the presumed network size over factor·n and
+// measures election success and cost through the orchestrator (each factor
+// is one workload cell, so the sweep fans out over the worker pool).
+func AblationKnowledge(o Orchestrator, w Workload, factors []float64, trials int, seed uint64) ([]KnowledgePoint, *spectral.Profile, error) {
+	specs := KnowledgeSpecs(w, factors, trials, seed)
+	cells, err := o.RunSweep(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	points, prof := KnowledgePoints(factors, specs, cells)
+	return points, prof, nil
+}
+
+// RenderAblationKnowledge renders the X4 series.
+func RenderAblationKnowledge(w Workload, prof *spectral.Profile, points []KnowledgePoint) string {
+	t := Table{
+		Title: fmt.Sprintf("X4 (knowledge, after Dieudonné-Pelc): presumed-n sweep on %s n=%d (truth at factor 1)",
+			w.Family, w.N),
+		Header: []string{"factor", "presumed n", "success", "rate", "lo", "hi", "msgs", "rounds"},
+	}
+	for _, p := range points {
+		lo, hi := stats.Wilson(p.Successes, p.Trials)
+		t.AddRow(F(p.Factor), I(p.PresumedN), fmt.Sprintf("%d/%d", p.Successes, p.Trials),
+			F(float64(p.Successes)/float64(p.Trials)), F(lo), F(hi), F(p.Messages), F(p.Rounds))
+	}
+	return t.String()
+}
+
 // DiffusionPoint is one point of the Lemmas 5-8 ablation: the potential
 // diffusion of Algorithm 7 evolved exactly (matrix powering) for an
 // estimate k, reporting whether the τ(k) threshold alarm fires.

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ArtifactSchema identifies the BENCH_harness.json format version. Bump it
+// when the cell layout changes so trajectory tooling can tell formats apart.
+const ArtifactSchema = "anonlead/bench-harness/v1"
+
+// ArtifactName is the conventional file name CI uploads for cross-PR perf
+// trajectory tracking.
+const ArtifactName = "BENCH_harness.json"
+
+// ArtifactCell is one sweep cell in the machine-readable artifact: the
+// measured aggregate plus the graph profile and the paper's predicted
+// complexities for that cell.
+type ArtifactCell struct {
+	Protocol    string  `json:"protocol"`
+	Family      string  `json:"family"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Diameter    int     `json:"diameter"`
+	MixingTime  int     `json:"tmix"`
+	Conductance float64 `json:"phi"`
+	PresumedN   int     `json:"presumed_n,omitempty"`
+
+	Trials       int     `json:"trials"`
+	Successes    int     `json:"successes"`
+	MultiLeaders int     `json:"multi_leaders"`
+	ZeroLeaders  int     `json:"zero_leaders"`
+	Messages     float64 `json:"messages"`
+	Bits         float64 `json:"bits"`
+	Rounds       float64 `json:"rounds"`
+	Charged      float64 `json:"charged"`
+
+	PredictedMsgs float64 `json:"predicted_msgs"`
+	PredictedTime float64 `json:"predicted_time"`
+}
+
+// Artifact is the BENCH_harness.json payload: one orchestrated sweep in a
+// machine-readable shape, emitted so CI can archive per-PR results and a
+// trajectory tool can diff messages/rounds/throughput across PRs.
+type Artifact struct {
+	Schema          string         `json:"schema"`
+	RootSeed        uint64         `json:"root_seed"`
+	Workers         int            `json:"workers"`
+	Shards          int            `json:"shards"`
+	ElapsedSeconds  float64        `json:"elapsed_seconds"`
+	TrialsPerSecond float64        `json:"trials_per_second"`
+	Cells           []ArtifactCell `json:"cells"`
+}
+
+// NewArtifact assembles the artifact from a sweep's specs and the cells
+// they produced. Everything except the wall-clock fields is a deterministic
+// function of the specs and root seed.
+func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Duration) Artifact {
+	workers, shards := o.Effective()
+	a := Artifact{
+		Schema:         ArtifactSchema,
+		Workers:        workers,
+		Shards:         shards,
+		ElapsedSeconds: elapsed.Seconds(),
+		Cells:          make([]ArtifactCell, 0, len(cells)),
+	}
+	if len(specs) > 0 {
+		a.RootSeed = specs[0].Opts.Seed
+	}
+	totalTrials := 0
+	for i, c := range cells {
+		prof := c.Profile
+		ac := ArtifactCell{
+			Protocol:     string(c.Protocol),
+			Family:       c.Workload.Family,
+			N:            c.Workload.N,
+			Trials:       c.Trials,
+			Successes:    c.Successes,
+			MultiLeaders: c.MultiLeaders,
+			ZeroLeaders:  c.ZeroLeaders,
+			Messages:     c.Messages,
+			Bits:         c.Bits,
+			Rounds:       c.Rounds,
+			Charged:      c.Charged,
+		}
+		if prof != nil {
+			ac.M = prof.M
+			ac.Diameter = prof.Diameter
+			ac.MixingTime = prof.MixingTime
+			ac.Conductance = prof.Conductance
+			ac.PredictedMsgs = predictMsgs(c.Protocol, prof)
+			ac.PredictedTime = predictTime(c.Protocol, prof)
+		}
+		if i < len(specs) {
+			ac.PresumedN = specs[i].Opts.PresumedN
+		}
+		totalTrials += c.Trials
+		a.Cells = append(a.Cells, ac)
+	}
+	if a.ElapsedSeconds > 0 {
+		a.TrialsPerSecond = float64(totalTrials) / a.ElapsedSeconds
+	}
+	return a
+}
+
+// StripTimings returns a copy with the wall-clock fields zeroed, leaving
+// only the deterministic content (what golden tests compare).
+func (a Artifact) StripTimings() Artifact {
+	a.ElapsedSeconds = 0
+	a.TrialsPerSecond = 0
+	return a
+}
+
+// JSON renders the artifact with stable field order, two-space indentation,
+// and a trailing newline.
+func (a Artifact) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("harness: marshal artifact: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteFile writes the artifact to path (conventionally ArtifactName).
+func (a Artifact) WriteFile(path string) error {
+	buf, err := a.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("harness: write artifact: %w", err)
+	}
+	return nil
+}

@@ -73,22 +73,35 @@ func MakeTable1Row(p Protocol, cell Cell) Table1Row {
 	}
 }
 
-// Table1Sweep runs one protocol over a size sweep of one family and
-// returns measured rows with predictions.
-func Table1Sweep(p Protocol, family string, sizes []int, opts TrialOpts) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(sizes))
-	for _, n := range sizes {
-		cell, err := RunCell(p, Workload{Family: family, N: n}, opts)
-		if err != nil {
-			return rows, err
-		}
-		rows = append(rows, Table1Row{
-			Cell:          cell,
-			PredictedMsgs: predictMsgs(p, cell.Profile),
-			PredictedTime: predictTime(p, cell.Profile),
-		})
+// SweepSpecs expands one protocol × family × size sweep into orchestrator
+// cell specs (one per size, all sharing opts).
+func SweepSpecs(p Protocol, family string, sizes []int, opts TrialOpts) []CellSpec {
+	specs := make([]CellSpec, len(sizes))
+	for i, n := range sizes {
+		specs[i] = CellSpec{Protocol: p, Workload: Workload{Family: family, N: n}, Opts: opts}
 	}
-	return rows, nil
+	return specs
+}
+
+// RowsFromCells pairs aggregated cells with the paper's predictions.
+func RowsFromCells(cells []Cell) []Table1Row {
+	rows := make([]Table1Row, len(cells))
+	for i, c := range cells {
+		rows[i] = MakeTable1Row(c.Protocol, c)
+	}
+	return rows
+}
+
+// Table1Sweep runs one protocol over a size sweep of one family and
+// returns measured rows with predictions, sequentially. For a pooled
+// sweep, feed SweepSpecs to Orchestrator.RunSweep and pair the cells with
+// RowsFromCells — bit-identical rows, any core count.
+func Table1Sweep(p Protocol, family string, sizes []int, opts TrialOpts) ([]Table1Row, error) {
+	cells, err := RunSweepSequential(SweepSpecs(p, family, sizes, opts))
+	if err != nil {
+		return nil, err
+	}
+	return RowsFromCells(cells), nil
 }
 
 // RenderTable1 renders sweep rows, including measured/predicted ratios and

@@ -60,6 +60,12 @@ type TrialOpts struct {
 	Trials   int
 	Seed     uint64
 	Parallel bool
+	// PresumedN, when positive, misreports the network size to the
+	// protocol (the knowledge ablation after Dieudonné–Pelc: how does
+	// election degrade when nodes' knowledge of n is wrong?). The graph
+	// keeps its true size; only the size the protocol is told changes.
+	// Revocable LE estimates n itself and ignores this knob.
+	PresumedN int
 	// IRE overrides the IRE protocol constants (zero values = defaults).
 	IRE core.IREConfig
 	// Revocable overrides the revocable protocol parameters.
@@ -98,28 +104,34 @@ func (c Cell) SuccessRate() float64 {
 	return float64(c.Successes) / float64(c.Trials)
 }
 
-// RunCell profiles the workload graph and executes a batch of trials of
-// the protocol on it.
-func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
-	g, err := w.BuildGraph(opts.Seed)
+// TrialSeed derives the seed of trial t of a workload cell from the root
+// seed by rng stream splitting. It is a pure function of (root, cell, t):
+// any execution order — the sequential loop in RunCell or the sharded
+// worker pool in Orchestrator.RunSweep — evaluates exactly the same trials,
+// which is what makes parallel sweep output bit-identical to sequential.
+func TrialSeed(root uint64, w Workload, t int) uint64 {
+	return rng.New(root).SplitString("trial:" + w.Family).Split(uint64(w.N)).DeriveSeed(uint64(t))
+}
+
+// prepareCell deterministically builds and profiles a workload graph.
+func prepareCell(w Workload, seed uint64) (*graph.Graph, *spectral.Profile, error) {
+	g, err := w.BuildGraph(seed)
 	if err != nil {
-		return Cell{}, fmt.Errorf("harness: build %s/%d: %w", w.Family, w.N, err)
+		return nil, nil, fmt.Errorf("harness: build %s/%d: %w", w.Family, w.N, err)
 	}
 	prof, err := spectral.ProfileGraph(g)
 	if err != nil {
-		return Cell{}, fmt.Errorf("harness: profile %s/%d: %w", w.Family, w.N, err)
+		return nil, nil, fmt.Errorf("harness: profile %s/%d: %w", w.Family, w.N, err)
 	}
+	return g, prof, nil
+}
+
+// reduceCell aggregates a batch of trials, always in slice (= trial index)
+// order, so sequential and sharded executions produce identical cells down
+// to floating-point summation order.
+func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) Cell {
 	cell := Cell{Protocol: p, Workload: w, Profile: prof}
-	trials := opts.Trials
-	if trials <= 0 {
-		trials = 1
-	}
-	for t := 0; t < trials; t++ {
-		seed := opts.Seed ^ (0x9e37*uint64(t) + uint64(t)<<32) ^ 0xabcd
-		trial, err := runOne(p, g, prof, opts, seed)
-		if err != nil {
-			return cell, err
-		}
+	for _, trial := range trials {
 		cell.Trials++
 		if trial.Success {
 			cell.Successes++
@@ -140,15 +152,49 @@ func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
 	cell.Bits *= inv
 	cell.Rounds *= inv
 	cell.Charged *= inv
-	return cell, nil
+	return cell
+}
+
+// RunCell profiles the workload graph and executes a batch of trials of
+// the protocol on it, sequentially on the calling goroutine. It is the
+// reference semantics for Orchestrator.RunSweep, which produces
+// bit-identical cells from a worker pool.
+func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
+	g, prof, err := prepareCell(w, opts.Seed)
+	if err != nil {
+		return Cell{}, err
+	}
+	trials := make([]Trial, cellTrials(opts))
+	for t := range trials {
+		trial, err := runOne(p, g, prof, opts, TrialSeed(opts.Seed, w, t))
+		if err != nil {
+			return Cell{Protocol: p, Workload: w, Profile: prof}, err
+		}
+		trials[t] = trial
+	}
+	return reduceCell(p, w, prof, trials), nil
+}
+
+// cellTrials returns the effective trial count of a batch (minimum 1).
+func cellTrials(opts TrialOpts) int {
+	if opts.Trials <= 0 {
+		return 1
+	}
+	return opts.Trials
 }
 
 // runOne executes a single trial of protocol p on g.
 func runOne(p Protocol, g *graph.Graph, prof *spectral.Profile, opts TrialOpts, seed uint64) (Trial, error) {
+	// The size the protocol is told; PresumedN misreports it for the
+	// knowledge ablation (topology parameters stay truthful).
+	presumedN := g.N()
+	if opts.PresumedN > 0 {
+		presumedN = opts.PresumedN
+	}
 	switch p {
 	case ProtoIRE, ProtoExplicit:
 		cfg := opts.IRE
-		cfg.N = g.N()
+		cfg.N = presumedN
 		if cfg.TMix == 0 {
 			cfg.TMix = prof.MixingTime
 		}
@@ -160,10 +206,10 @@ func runOne(p Protocol, g *graph.Graph, prof *spectral.Profile, opts TrialOpts, 
 		}
 		return RunIRETrial(g, cfg, seed, opts.Parallel)
 	case ProtoFlood, ProtoAllFlood:
-		cfg := baseline.FloodConfig{N: g.N(), Diam: prof.Diameter, AllNodes: p == ProtoAllFlood}
+		cfg := baseline.FloodConfig{N: presumedN, Diam: prof.Diameter, AllNodes: p == ProtoAllFlood}
 		return RunFloodTrial(g, cfg, seed, opts.Parallel)
 	case ProtoWalkNotify:
-		cfg := baseline.WalkNotifyConfig{N: g.N(), TMix: prof.MixingTime}
+		cfg := baseline.WalkNotifyConfig{N: presumedN, TMix: prof.MixingTime}
 		return RunWalkNotifyTrial(g, cfg, seed, opts.Parallel)
 	case ProtoRevocable:
 		cfg := opts.Revocable

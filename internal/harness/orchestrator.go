@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/spectral"
+)
+
+// CellSpec names one workload cell of an orchestrated sweep: a protocol, a
+// topology cell, and the trial batch options (whose Seed is the sweep's
+// root seed — per-trial seeds are split from it with TrialSeed).
+type CellSpec struct {
+	Protocol Protocol
+	Workload Workload
+	Opts     TrialOpts
+}
+
+// Orchestrator fans workload cells and per-cell trials out over a bounded
+// worker pool. Results are bit-identical to running every cell through
+// RunCell on one goroutine: trial seeds are pure functions of (root seed,
+// cell, trial index), shards fill disjoint trial ranges, and each cell is
+// reduced in trial-index order once its last shard lands. The zero value
+// runs with GOMAXPROCS workers and one shard per worker.
+type Orchestrator struct {
+	// Workers is the pool size (0 = GOMAXPROCS).
+	Workers int
+	// Shards is the number of trial shards each cell is cut into
+	// (0 = Workers). More shards smooth load imbalance between cheap and
+	// expensive cells; one shard pins each cell to a single worker.
+	Shards int
+	// OnCell, when non-nil, streams each aggregated Cell as soon as its
+	// last shard completes, with i the index into the spec slice. Cells
+	// complete in whatever order the pool finishes them; calls are
+	// serialized under an internal lock.
+	OnCell func(i int, c Cell)
+}
+
+// cellRun is the in-flight state of one spec during a sweep.
+type cellRun struct {
+	g         *graph.Graph
+	prof      *spectral.Profile
+	trials    []Trial
+	remaining atomic.Int32
+}
+
+// Effective returns the worker and shard counts a sweep actually runs
+// with, resolving the zero-value defaults (artifacts record these, not the
+// raw configuration, so cross-machine throughput stays comparable).
+func (o Orchestrator) Effective() (workers, shards int) {
+	workers = o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards = o.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	return workers, shards
+}
+
+// RunSweep executes every spec and returns the aggregated cells in spec
+// order. On the first trial or build error the pool stops handing out new
+// work, drains in-flight tasks, and returns the error of the lowest-indexed
+// failed task.
+func (o Orchestrator) RunSweep(specs []CellSpec) ([]Cell, error) {
+	workers, shards := o.Effective()
+
+	// Phase 1: build and profile every distinct workload graph in
+	// parallel. Specs sharing (workload, seed) — different protocols on
+	// one cell, or a knowledge sweep's factors — share a single build and
+	// spectral profile, the dominant setup cost at larger n.
+	type prepKey struct {
+		family string
+		n      int
+		seed   uint64
+	}
+	order := make([]prepKey, 0, len(specs))
+	groups := make(map[prepKey][]int, len(specs))
+	for i, spec := range specs {
+		k := prepKey{spec.Workload.Family, spec.Workload.N, spec.Opts.Seed}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	runs := make([]cellRun, len(specs))
+	err := forEach(workers, len(order), func(j int) error {
+		idxs := groups[order[j]]
+		spec := specs[idxs[0]]
+		g, prof, err := prepareCell(spec.Workload, spec.Opts.Seed)
+		if err != nil {
+			return fmt.Errorf("spec %d: %w", idxs[0], err)
+		}
+		for _, i := range idxs {
+			runs[i].g, runs[i].prof = g, prof
+			runs[i].trials = make([]Trial, cellTrials(specs[i].Opts))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: cut every cell's trial batch into shards and fan the shards
+	// of all cells out over one pool, so a big cell's trials overlap with
+	// small cells instead of serializing behind them.
+	type shard struct{ cell, lo, hi int }
+	var work []shard
+	for i := range runs {
+		n := len(runs[i].trials)
+		per := (n + shards - 1) / shards
+		count := 0
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			work = append(work, shard{i, lo, hi})
+			count++
+		}
+		runs[i].remaining.Store(int32(count))
+	}
+	cells := make([]Cell, len(specs))
+	var cbMu sync.Mutex
+	err = forEach(workers, len(work), func(s int) error {
+		sh := work[s]
+		spec := specs[sh.cell]
+		run := &runs[sh.cell]
+		for t := sh.lo; t < sh.hi; t++ {
+			trial, err := runOne(spec.Protocol, run.g, run.prof, spec.Opts,
+				TrialSeed(spec.Opts.Seed, spec.Workload, t))
+			if err != nil {
+				return fmt.Errorf("spec %d (%s on %s/%d) trial %d: %w",
+					sh.cell, spec.Protocol, spec.Workload.Family, spec.Workload.N, t, err)
+			}
+			run.trials[t] = trial
+		}
+		if run.remaining.Add(-1) == 0 {
+			cell := reduceCell(spec.Protocol, spec.Workload, run.prof, run.trials)
+			cells[sh.cell] = cell
+			if o.OnCell != nil {
+				cbMu.Lock()
+				o.OnCell(sh.cell, cell)
+				cbMu.Unlock()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// RunSweepSequential executes the specs one cell at a time on the calling
+// goroutine — the reference semantics the parallel pool must reproduce
+// bit for bit.
+func RunSweepSequential(specs []CellSpec) ([]Cell, error) {
+	cells := make([]Cell, len(specs))
+	for i, spec := range specs {
+		c, err := RunCell(spec.Protocol, spec.Workload, spec.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("spec %d (%s on %s/%d): %w",
+				i, spec.Protocol, spec.Workload.Family, spec.Workload.N, err)
+		}
+		cells[i] = c
+	}
+	return cells, nil
+}
+
+// forEach runs fn(0..n-1) over a pool of workers goroutines. On the first
+// error the pool stops claiming new tasks and lets in-flight ones finish
+// (clean shutdown, no goroutine leak); among the tasks that did fail, the
+// lowest-indexed error is returned so reporting does not depend on
+// goroutine scheduling.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		errIdx   = -1
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,268 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// determinismSpecs is a small cross-protocol, cross-family sweep matrix
+// used by the bit-identity tests.
+func determinismSpecs(seed uint64) []CellSpec {
+	opts := TrialOpts{Trials: 4, Seed: seed}
+	return []CellSpec{
+		{Protocol: ProtoIRE, Workload: Workload{Family: "expander", N: 32}, Opts: opts},
+		{Protocol: ProtoIRE, Workload: Workload{Family: "cycle", N: 16}, Opts: opts},
+		{Protocol: ProtoIRE, Workload: Workload{Family: "diam2", N: 17}, Opts: opts},
+		{Protocol: ProtoFlood, Workload: Workload{Family: "complete", N: 16}, Opts: opts},
+		{Protocol: ProtoWalkNotify, Workload: Workload{Family: "torus", N: 16}, Opts: opts},
+	}
+}
+
+// TestParallelHarnessDeterminism is the acceptance gate of the orchestrator:
+// a sweep fanned out over a sharded worker pool must produce output
+// byte-identical to the sequential reference for the same root seed — same
+// cells, same rendered tables, same JSON artifact.
+func TestParallelHarnessDeterminism(t *testing.T) {
+	specs := determinismSpecs(17)
+	seq, err := RunSweepSequential(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Orchestrator{
+		{Workers: 8, Shards: 4},
+		{Workers: 3, Shards: 7},
+		{Workers: 1, Shards: 1},
+	} {
+		par, err := o.RunSweep(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d shards=%d: cells differ from sequential:\nseq: %+v\npar: %+v",
+				o.Workers, o.Shards, seq, par)
+		}
+		// Rendered artifacts must match byte for byte.
+		seqTable := RenderTable1("determinism", RowsFromCells(seq))
+		parTable := RenderTable1("determinism", RowsFromCells(par))
+		if seqTable != parTable {
+			t.Fatalf("rendered tables differ:\n%s\nvs\n%s", seqTable, parTable)
+		}
+		seqJSON, err := NewArtifact(o, specs, seq, 0).StripTimings().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parJSON, err := NewArtifact(o, specs, par, 0).StripTimings().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqJSON, parJSON) {
+			t.Fatalf("JSON artifacts differ:\n%s\nvs\n%s", seqJSON, parJSON)
+		}
+	}
+}
+
+// TestTrialSeedSplitting checks the per-trial seed derivation is a pure
+// function of (root, cell, trial) and separates streams across all three.
+func TestTrialSeedSplitting(t *testing.T) {
+	w := Workload{Family: "cycle", N: 16}
+	if TrialSeed(1, w, 0) != TrialSeed(1, w, 0) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+	seen := map[uint64]string{}
+	add := func(s uint64, what string) {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, what)
+		}
+		seen[s] = what
+	}
+	for tr := 0; tr < 8; tr++ {
+		add(TrialSeed(1, w, tr), "trial variation")
+	}
+	add(TrialSeed(2, w, 0), "root variation")
+	add(TrialSeed(1, Workload{Family: "cycle", N: 17}, 0), "size variation")
+	add(TrialSeed(1, Workload{Family: "torus", N: 16}, 0), "family variation")
+}
+
+// TestOrchestratorShutdownOnTrialError checks the pool stops on a failing
+// trial, drains cleanly (no hang), and reports a useful error even when
+// healthy cells surround the poisoned one.
+func TestOrchestratorShutdownOnTrialError(t *testing.T) {
+	opts := TrialOpts{Trials: 3, Seed: 5}
+	specs := []CellSpec{
+		{Protocol: ProtoIRE, Workload: Workload{Family: "cycle", N: 8}, Opts: opts},
+		{Protocol: Protocol("nope"), Workload: Workload{Family: "cycle", N: 8}, Opts: opts},
+		{Protocol: ProtoIRE, Workload: Workload{Family: "complete", N: 8}, Opts: opts},
+		{Protocol: ProtoIRE, Workload: Workload{Family: "torus", N: 9}, Opts: opts},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Orchestrator{Workers: 4, Shards: 2}.RunSweep(specs)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("poisoned sweep returned nil error")
+		}
+		if !strings.Contains(err.Error(), "nope") {
+			t.Fatalf("error does not name the bad protocol: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker pool did not shut down on trial error")
+	}
+
+	// A build-phase failure (unknown family) shuts down the same way.
+	specs[1] = CellSpec{Protocol: ProtoIRE, Workload: Workload{Family: "nosuch", N: 8}, Opts: opts}
+	if _, err := (Orchestrator{Workers: 2}).RunSweep(specs); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("build error not surfaced: %v", err)
+	}
+}
+
+// TestOrchestratorStreamsCells checks OnCell fires exactly once per spec
+// with the same cell the result slice carries.
+func TestOrchestratorStreamsCells(t *testing.T) {
+	specs := determinismSpecs(11)
+	var mu sync.Mutex
+	streamed := map[int]Cell{}
+	o := Orchestrator{Workers: 4, Shards: 3, OnCell: func(i int, c Cell) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := streamed[i]; dup {
+			t.Errorf("cell %d streamed twice", i)
+		}
+		streamed[i] = c
+	}}
+	cells, err := o.RunSweep(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(specs) {
+		t.Fatalf("streamed %d cells, want %d", len(streamed), len(specs))
+	}
+	for i, c := range cells {
+		if !reflect.DeepEqual(streamed[i], c) {
+			t.Fatalf("streamed cell %d differs from returned cell", i)
+		}
+	}
+}
+
+// TestArtifactGolden pins the BENCH_harness.json format: a fixed-seed sweep
+// must serialize to exactly the committed golden bytes (timings stripped —
+// they are the only nondeterministic fields).
+func TestArtifactGolden(t *testing.T) {
+	opts := TrialOpts{Trials: 2, Seed: 5}
+	specs := []CellSpec{
+		{Protocol: ProtoIRE, Workload: Workload{Family: "complete", N: 16}, Opts: opts},
+		{Protocol: ProtoFlood, Workload: Workload{Family: "diam2", N: 17}, Opts: opts},
+		{Protocol: ProtoIRE, Workload: Workload{Family: "cycle", N: 12},
+			Opts: TrialOpts{Trials: 2, Seed: 5, PresumedN: 6}},
+	}
+	o := Orchestrator{Workers: 2, Shards: 2}
+	cells, err := o.RunSweep(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewArtifact(o, specs, cells, 1500*time.Millisecond).StripTimings().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bench_harness_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("artifact drifted from golden (UPDATE_GOLDEN=1 regenerates):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestArtifactTimings checks the wall-clock derived fields.
+func TestArtifactTimings(t *testing.T) {
+	opts := TrialOpts{Trials: 3, Seed: 5}
+	specs := []CellSpec{{Protocol: ProtoIRE, Workload: Workload{Family: "cycle", N: 8}, Opts: opts}}
+	cells, err := RunSweepSequential(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArtifact(Orchestrator{}, specs, cells, 2*time.Second)
+	if a.ElapsedSeconds != 2 {
+		t.Fatalf("elapsed %v", a.ElapsedSeconds)
+	}
+	if a.TrialsPerSecond != 1.5 {
+		t.Fatalf("trials/sec %v, want 1.5", a.TrialsPerSecond)
+	}
+	if a.RootSeed != 5 {
+		t.Fatalf("root seed %v", a.RootSeed)
+	}
+	if s := a.StripTimings(); s.ElapsedSeconds != 0 || s.TrialsPerSecond != 0 {
+		t.Fatalf("StripTimings left %+v", s)
+	}
+}
+
+// TestArtifactWriteFile round-trips the artifact through a file.
+func TestArtifactWriteFile(t *testing.T) {
+	a := Artifact{Schema: ArtifactSchema, RootSeed: 1}
+	path := filepath.Join(t.TempDir(), ArtifactName)
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), ArtifactSchema) {
+		t.Fatalf("artifact file missing schema:\n%s", buf)
+	}
+}
+
+// TestAblationKnowledge checks the X4 sweep: truthful n succeeds, presumed
+// sizes scale with the factor, and the renderer names the experiment.
+func TestAblationKnowledge(t *testing.T) {
+	w := Workload{Family: "complete", N: 24}
+	points, prof, err := AblationKnowledge(Orchestrator{Workers: 4}, w, []float64{0.5, 1, 2}, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points %d", len(points))
+	}
+	if points[0].PresumedN != 12 || points[1].PresumedN != 24 || points[2].PresumedN != 48 {
+		t.Fatalf("presumed sizes wrong: %+v", points)
+	}
+	if points[1].Successes < 2 {
+		t.Fatalf("truthful-n success %d/3", points[1].Successes)
+	}
+	out := RenderAblationKnowledge(w, prof, points)
+	if !strings.Contains(out, "X4") || !strings.Contains(out, "presumed n") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+// TestPresumedNChangesProtocolBehavior pins that the knowledge knob reaches
+// the protocol: a larger presumed n stretches the IRE schedule (more
+// rounds) on the same graph and seeds.
+func TestPresumedNChangesProtocolBehavior(t *testing.T) {
+	w := Workload{Family: "complete", N: 16}
+	truth, err := RunCell(ProtoIRE, w, TrialOpts{Trials: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := RunCell(ProtoIRE, w, TrialOpts{Trials: 2, Seed: 3, PresumedN: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inflated.Rounds <= truth.Rounds {
+		t.Fatalf("presumed n=64 rounds %v not above truthful %v", inflated.Rounds, truth.Rounds)
+	}
+}

@@ -61,8 +61,19 @@ func New(seed uint64) *RNG {
 // perform all Splits before drawing from the parent, which is the pattern
 // used by the simulator (split per node, then per phase).
 func (r *RNG) Split(label uint64) *RNG {
+	return New(r.DeriveSeed(label))
+}
+
+// DeriveSeed returns the seed Split(label) would construct its child from,
+// without building the child and without advancing the parent. It lets
+// callers hand deterministic per-label seeds to APIs that take a raw uint64
+// seed (e.g. a simulator config) while keeping the same stream-independence
+// guarantees as Split — the experiment orchestrator derives per-trial seeds
+// this way so that sharded parallel execution draws exactly the trials a
+// sequential loop would.
+func (r *RNG) DeriveSeed(label uint64) uint64 {
 	seed := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ mix64(label)
-	return New(seed ^ mix64(label^golden))
+	return seed ^ mix64(label^golden)
 }
 
 // SplitString derives a child stream keyed by a string label.

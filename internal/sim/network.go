@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"anonlead/internal/graph"
@@ -52,9 +51,24 @@ type Network struct {
 	workers   int
 	inflight  int
 	actors    *actorPool
-	// linkBits accumulates per (directed edge, channel) bits within one
-	// round for slot accounting; reused across rounds.
-	linkBits map[uint64]int
+	// Link accounting: per directed edge, a chain of per-channel bit loads
+	// accumulated within one round. linkHead[e] indexes the first load of
+	// edge e in loads (valid only when linkEpoch[e] == routeEpoch); loads
+	// and touched are truncated and refilled each round, so the routing hot
+	// path is allocation-free once the buffers have warmed up.
+	linkHead   []int32
+	linkEpoch  []uint64
+	routeEpoch uint64
+	loads      []chanLoad
+	touched    []int32
+}
+
+// chanLoad is the bit load of one (directed edge, channel) pair within one
+// round. Loads of the same edge are chained through next (-1 terminates).
+type chanLoad struct {
+	channel uint32
+	next    int32
+	bits    int
 }
 
 // defaultCongestBits returns the default per-link budget for an n-node
@@ -104,7 +118,6 @@ func New(cfg Config, factory Factory) *Network {
 		edgeOff:   make([]int, n+1),
 		scheduler: scheduler,
 		workers:   workers,
-		linkBits:  make(map[uint64]int),
 	}
 	nw.metrics.CongestBits = budget
 
@@ -124,10 +137,17 @@ func New(cfg Config, factory Factory) *Network {
 			rp[p] = int32(q)
 		}
 		nw.revPort[v] = rp
-		nw.ctxs[v] = Context{degree: deg, rng: root.Split(uint64(v)), node: v, rec: cfg.Trace}
+		// Mailboxes and send buffers are sized for one packet per incident
+		// link, the common protocol shape, so steady-state rounds reuse
+		// them without growth.
+		nw.inbox[v] = make([]Packet, 0, deg)
+		nw.next[v] = make([]Packet, 0, deg)
+		nw.ctxs[v] = Context{degree: deg, rng: root.Split(uint64(v)), node: v, rec: cfg.Trace, out: make([]send, 0, deg)}
 		nw.machines[v] = factory(v, deg, nw.ctxs[v].rng)
 	}
 	nw.edgeOff[n] = off
+	nw.linkHead = make([]int32, off)
+	nw.linkEpoch = make([]uint64, off)
 
 	// Init phase (round -1): run Init on every machine, deliver sends to
 	// round 0 mailboxes.
@@ -260,7 +280,9 @@ func (nw *Network) deliver(round int) {
 // schedulers), applies halts, and meters traffic.
 func (nw *Network) route() {
 	nw.inflight = 0
-	clear(nw.linkBits)
+	nw.routeEpoch++
+	nw.loads = nw.loads[:0]
+	nw.touched = nw.touched[:0]
 	for v := range nw.machines {
 		ctx := &nw.ctxs[v]
 		if ctx.halted {
@@ -272,8 +294,7 @@ func (nw *Network) route() {
 			bits := s.payload.Bits()
 			nw.metrics.Messages++
 			nw.metrics.Bits += int64(bits)
-			key := uint64(nw.edgeOff[v]+s.port)<<32 | uint64(s.channel)
-			nw.linkBits[key] += bits
+			nw.addLinkBits(int32(nw.edgeOff[v]+s.port), s.channel, bits)
 			if nw.halted[w] {
 				continue // receiver stopped: packet dropped
 			}
@@ -285,32 +306,60 @@ func (nw *Network) route() {
 	nw.inbox, nw.next = nw.next, nw.inbox
 }
 
+// addLinkBits accumulates bits on (directed edge e, channel) for this
+// round's slot accounting. The first load of an edge claims a fresh chain
+// head (epoch-gated, so no per-round clearing of the per-edge arrays);
+// further channels extend the chain. Channel counts per link per round are
+// small, so the chain walk beats hashing — and unlike the old map it never
+// allocates once loads/touched have warmed up.
+func (nw *Network) addLinkBits(e int32, channel uint32, bits int) {
+	if nw.linkEpoch[e] != nw.routeEpoch {
+		nw.linkEpoch[e] = nw.routeEpoch
+		nw.linkHead[e] = int32(len(nw.loads))
+		nw.loads = append(nw.loads, chanLoad{channel: channel, bits: bits, next: -1})
+		nw.touched = append(nw.touched, e)
+		return
+	}
+	idx := nw.linkHead[e]
+	for {
+		if nw.loads[idx].channel == channel {
+			nw.loads[idx].bits += bits
+			return
+		}
+		next := nw.loads[idx].next
+		if next < 0 {
+			tail := int32(len(nw.loads))
+			nw.loads = append(nw.loads, chanLoad{channel: channel, bits: bits, next: -1})
+			nw.loads[idx].next = tail
+			return
+		}
+		idx = next
+	}
+}
+
 // finishRoundAccounting converts the per-link bit loads of the round just
 // routed into CONGEST charged rounds. counted=false is used for the Init
 // pseudo-round, which charges slots but not a base round.
 func (nw *Network) finishRoundAccounting(counted bool) {
 	budget := nw.metrics.CongestBits
-	// slots[edge] = sum over channels of ceil(bits/budget)
-	type agg struct{ slots, channels int }
-	perEdge := make(map[uint32]agg, len(nw.linkBits))
-	for key, bits := range nw.linkBits {
-		edge := uint32(key >> 32)
-		s := (bits + budget - 1) / budget
-		if s < 1 {
-			s = 1
-		}
-		a := perEdge[edge]
-		a.slots += s
-		a.channels++
-		perEdge[edge] = a
-	}
 	maxSlots, maxChannels := 0, 0
-	for _, a := range perEdge {
-		if a.slots > maxSlots {
-			maxSlots = a.slots
+	for _, e := range nw.touched {
+		// slots = sum over the edge's channels of ceil(bits/budget);
+		// distinct channels never share a slot.
+		slots, channels := 0, 0
+		for idx := nw.linkHead[e]; idx >= 0; idx = nw.loads[idx].next {
+			s := (nw.loads[idx].bits + budget - 1) / budget
+			if s < 1 {
+				s = 1
+			}
+			slots += s
+			channels++
 		}
-		if a.channels > maxChannels {
-			maxChannels = a.channels
+		if slots > maxSlots {
+			maxSlots = slots
+		}
+		if channels > maxChannels {
+			maxChannels = channels
 		}
 	}
 	if maxSlots > nw.metrics.MaxLinkSlots {
@@ -327,12 +376,18 @@ func (nw *Network) finishRoundAccounting(counted bool) {
 }
 
 // sortInbox orders packets by (port, channel) with stable order for ties
-// (a single neighbor's multi-packet sends keep their send order).
+// (a single neighbor's multi-packet sends keep their send order). Insertion
+// sort: mailboxes are filled in ascending sender order, so arrivals are
+// already nearly sorted by port and the sort runs in ~linear time without
+// the allocations of sort.SliceStable.
 func sortInbox(box []Packet) {
-	sort.SliceStable(box, func(i, j int) bool {
-		if box[i].Port != box[j].Port {
-			return box[i].Port < box[j].Port
+	for i := 1; i < len(box); i++ {
+		p := box[i]
+		j := i - 1
+		for j >= 0 && (box[j].Port > p.Port || (box[j].Port == p.Port && box[j].Channel > p.Channel)) {
+			box[j+1] = box[j]
+			j--
 		}
-		return box[i].Channel < box[j].Channel
-	})
+		box[j+1] = p
+	}
 }
