@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt ci clean
+.PHONY: all build test race bench bench-artifact benchdiff baseline lint fmt ci clean
 
 all: build
 
@@ -22,6 +22,26 @@ race:
 # BENCH_harness.json, which CI uploads for cross-PR perf tracking.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The regression-gate sweep: every artifact cell (Table 1 + the X4
+# knowledge ablation) at the promoted -quick defaults, written as a
+# schema-v2 artifact. Deterministic for a fixed -seed regardless of
+# worker/shard count, so the same command regenerates the same cells on
+# any machine.
+bench-artifact:
+	$(GO) run ./cmd/lebench -exp sweeps -quick -parallel -json BENCH_harness.json
+
+# Diff the freshly-swept artifact against the committed baseline and fail
+# on any variance-adjusted regression — or on baseline cells missing from
+# the head sweep, so shrinking the sweep can't hide one (what CI's
+# bench-gate job runs).
+benchdiff: bench-artifact
+	$(GO) run ./cmd/benchdiff -base testdata/BENCH_baseline.json -head BENCH_harness.json -fail-on regressed,removed
+
+# Refresh the committed baseline after an intentional perf/complexity
+# change (see README "Refreshing the baseline"); commit the result.
+baseline:
+	$(GO) run ./cmd/lebench -exp sweeps -quick -parallel -json testdata/BENCH_baseline.json
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,109 @@
+// Command benchdiff compares two BENCH_harness.json artifacts and
+// classifies every aligned sweep cell's metrics as improved, unchanged, or
+// regressed — the cross-PR regression gate the CI bench-gate job enforces.
+//
+// Usage:
+//
+//	benchdiff -base testdata/BENCH_baseline.json -head BENCH_harness.json
+//	benchdiff -base old.json -head new.json -fail-on regressed
+//	benchdiff -base old.json -head new.json -json report.json
+//	benchdiff -base old.json -head new.json -rel-tol 0.1 -sigmas 2
+//
+// The markdown summary goes to stdout (CI tees it into
+// $GITHUB_STEP_SUMMARY); -json additionally writes the machine-readable
+// report. -fail-on takes a comma-separated list of conditions: with
+// "regressed" the exit status is 1 when any aligned metric regressed, and
+// with "removed" when any baseline cell vanished from the head sweep —
+// without the latter a PR could pass the gate by simply deleting the
+// cells where a regression lives. CI runs "regressed,removed", which is
+// what turns the artifact from write-only telemetry into an enforced
+// perf/complexity contract.
+//
+// Schema handling: v2 artifacts carry per-cell distributions, so the
+// classifier demands an effect exceed both a relative tolerance and a
+// multiple of the Welch standard error. Legacy v1 artifacts are still
+// accepted — the comparison downgrades to means-only and the summary says
+// so instead of erroring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"anonlead/internal/trajectory"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		base     = fs.String("base", "", "baseline artifact (e.g. testdata/BENCH_baseline.json)")
+		head     = fs.String("head", "", "candidate artifact (e.g. BENCH_harness.json)")
+		jsonPath = fs.String("json", "", "also write the machine-readable report here")
+		failOn   = fs.String("fail-on", "none", "comma-separated exit-1 conditions: none, regressed, removed")
+		relTol   = fs.Float64("rel-tol", 0, "minimum relative effect to call a change (0 = default 0.05)")
+		sigmas   = fs.Float64("sigmas", 0, "minimum effect in Welch standard errors (0 = default 3)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *base == "" || *head == "" {
+		fmt.Fprintln(stderr, "benchdiff: -base and -head are required")
+		fs.Usage()
+		return 2
+	}
+	failRegressed, failRemoved := false, false
+	for _, cond := range strings.Split(*failOn, ",") {
+		switch strings.TrimSpace(cond) {
+		case "none", "":
+		case "regressed":
+			failRegressed = true
+		case "removed":
+			failRemoved = true
+		default:
+			fmt.Fprintf(stderr, "benchdiff: unknown -fail-on condition %q (want none, regressed, removed)\n", cond)
+			return 2
+		}
+	}
+
+	report, err := trajectory.DiffFiles(*base, *head,
+		trajectory.Thresholds{RelTol: *relTol, Sigmas: *sigmas})
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	fmt.Fprint(stdout, report.Markdown())
+	if *jsonPath != "" {
+		buf, err := report.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchdiff: write report:", err)
+			return 2
+		}
+	}
+	failed := false
+	if failRegressed && report.HasRegressions() {
+		fmt.Fprintf(stderr, "benchdiff: %d metric(s) regressed\n", report.Regressed)
+		failed = true
+	}
+	if failRemoved && len(report.Removed) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d baseline cell(s) missing from head (refresh the baseline if intentional)\n",
+			len(report.Removed))
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anonlead/internal/harness"
+)
+
+// writeArtifact materializes an artifact in dir and returns its path.
+func writeArtifact(t *testing.T, dir, name string, a harness.Artifact) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sweepArtifact runs a real (tiny) orchestrated sweep and returns its
+// artifact, optionally scaling every cost mean by factor to synthesize a
+// regression or improvement.
+func sweepArtifact(t *testing.T, factor float64) harness.Artifact {
+	t.Helper()
+	specs := []harness.CellSpec{
+		{Protocol: harness.ProtoIRE, Workload: harness.Workload{Family: "complete", N: 16},
+			Opts: harness.TrialOpts{Trials: 3, Seed: 11}},
+		{Protocol: harness.ProtoFlood, Workload: harness.Workload{Family: "cycle", N: 12},
+			Opts: harness.TrialOpts{Trials: 3, Seed: 11}},
+	}
+	o := harness.Orchestrator{Workers: 2}
+	cells, err := o.RunSweep(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := harness.NewArtifact(o, specs, cells, 0)
+	if factor != 1 {
+		for i := range a.Cells {
+			c := &a.Cells[i]
+			c.Messages *= factor
+			c.Bits *= factor
+			c.Rounds *= factor
+			c.Charged *= factor
+			for _, d := range []*harness.ArtifactDist{
+				c.MessagesDist, c.BitsDist, c.RoundsDist, c.ChargedDist,
+			} {
+				d.Min *= factor
+				d.Max *= factor
+				d.P50 *= factor
+				d.P90 *= factor
+				d.P99 *= factor
+			}
+		}
+	}
+	return a
+}
+
+func TestBenchdiffIdenticalArtifactsExitZero(t *testing.T) {
+	dir := t.TempDir()
+	a := sweepArtifact(t, 1)
+	base := writeArtifact(t, dir, "base.json", a)
+	head := writeArtifact(t, dir, "head.json", a)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-base", base, "-head", head, "-fail-on", "regressed"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d on identical artifacts; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 regressed") {
+		t.Fatalf("summary missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffRegressedArtifactExitNonZero(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", sweepArtifact(t, 1))
+	head := writeArtifact(t, dir, "head.json", sweepArtifact(t, 2)) // every cost doubled
+	var out, errOut bytes.Buffer
+	code := run([]string{"-base", base, "-head", head, "-fail-on", "regressed"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on regressed artifact, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "🔴") {
+		t.Fatalf("summary missing regression rows:\n%s", out.String())
+	}
+	// Without the gate the same diff reports but exits zero.
+	code = run([]string{"-base", base, "-head", head}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d without -fail-on, want 0", code)
+	}
+}
+
+func TestBenchdiffWritesJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", sweepArtifact(t, 1))
+	head := writeArtifact(t, dir, "head.json", sweepArtifact(t, 2))
+	reportPath := filepath.Join(dir, "report.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-base", base, "-head", head, "-json", reportPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errOut.String())
+	}
+	buf, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"regressed"`, `"cells"`, `"base_schema"`} {
+		if !strings.Contains(string(buf), want) {
+			t.Fatalf("report missing %s:\n%s", want, buf)
+		}
+	}
+}
+
+func TestBenchdiffV1InputDowngradesNotErrors(t *testing.T) {
+	dir := t.TempDir()
+	v1 := harness.Artifact{
+		Schema: harness.ArtifactSchemaV1,
+		Cells: []harness.ArtifactCell{{
+			Protocol: "ire", Family: "expander", N: 64,
+			Trials: 5, Successes: 5,
+			Messages: 1000, Bits: 2000, Rounds: 100, Charged: 120,
+		}},
+	}
+	base := writeArtifact(t, dir, "base.json", v1)
+	head := writeArtifact(t, dir, "head.json", v1)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-base", base, "-head", head, "-fail-on", "regressed"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("v1 input errored (exit %d):\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "means-only comparison") {
+		t.Fatalf("summary missing v1 downgrade note:\n%s", out.String())
+	}
+}
+
+// TestBenchdiffRemovedCellsGate: with -fail-on removed, a head sweep
+// missing baseline cells fails instead of silently passing with reduced
+// coverage.
+func TestBenchdiffRemovedCellsGate(t *testing.T) {
+	dir := t.TempDir()
+	full := sweepArtifact(t, 1)
+	shrunk := full
+	shrunk.Cells = full.Cells[:1]
+	base := writeArtifact(t, dir, "base.json", full)
+	head := writeArtifact(t, dir, "head.json", shrunk)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-base", base, "-head", head, "-fail-on", "regressed,removed"}, &out, &errOut); code != 1 {
+		t.Fatalf("shrunk sweep passed the gate (exit %d)", code)
+	}
+	if !strings.Contains(errOut.String(), "missing from head") {
+		t.Fatalf("stderr missing removed-cell verdict:\n%s", errOut.String())
+	}
+	// Without the removed condition the same diff still exits zero.
+	if code := run([]string{"-base", base, "-head", head, "-fail-on", "regressed"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d with -fail-on regressed only, want 0", code)
+	}
+}
+
+func TestBenchdiffUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-base", "x.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing -head accepted (exit %d)", code)
+	}
+	if code := run([]string{"-base", "x.json", "-head", "y.json", "-fail-on", "sometimes"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -fail-on accepted (exit %d)", code)
+	}
+	if code := run([]string{"-base", "/nonexistent.json", "-head", "/nonexistent.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file accepted (exit %d)", code)
+	}
+}
+
+// TestBenchdiffCheckedInBaseline sanity-checks the committed baseline
+// artifact: it must parse as schema v2 with distributions so the CI gate
+// runs the variance-aware path.
+func TestBenchdiffCheckedInBaseline(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "BENCH_baseline.json")
+	a, err := harness.ReadArtifactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != harness.ArtifactSchema {
+		t.Fatalf("baseline schema %q, want %q", a.Schema, harness.ArtifactSchema)
+	}
+	if len(a.Cells) == 0 {
+		t.Fatal("baseline has no cells")
+	}
+	for i, c := range a.Cells {
+		if !c.HasDists() {
+			t.Fatalf("baseline cell %d lacks distributions", i)
+		}
+	}
+}

@@ -9,9 +9,15 @@
 //	lebench -exp figures           # pumping-wheel split-brain series
 //	lebench -exp ablations         # X1-X4 design ablations
 //	lebench -exp knowledge         # X4 knowledge ablation only
+//	lebench -exp sweeps            # table1 + knowledge (the artifact cells)
 //	lebench -exp all -quick        # everything, reduced sweep
 //	lebench -exp table1 -parallel  # fan cells/trials over all CPUs
 //	lebench -exp table1 -parallel -shards 8 -json BENCH_harness.json
+//
+// -exp sweeps runs exactly the sweep-based experiments (Table 1 plus the
+// X4 knowledge ablation) — every cell that lands in the JSON artifact —
+// and is what CI's bench-gate job executes before diffing the artifact
+// against testdata/BENCH_baseline.json with cmd/benchdiff.
 //
 // With -parallel, the sweep-based experiments (table1 and the X4
 // knowledge ablation) fan their cells and per-cell trials out over a
@@ -76,7 +82,7 @@ func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, all")
+		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, sweeps, all")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast pass")
 		trials   = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		seed     = flag.Uint64("seed", 1, "root random seed")
@@ -107,6 +113,12 @@ func run() error {
 		err = ablations(s)
 	case "knowledge":
 		err = knowledge(s)
+	case "sweeps":
+		for _, f := range []func(*session) error{table1, knowledge} {
+			if err = f(s); err != nil {
+				break
+			}
+		}
 	case "all":
 		for _, f := range []func(*session) error{table1, figures, ablations} {
 			if err = f(s); err != nil {
@@ -156,10 +168,17 @@ func pickTrials(override, def int) int {
 // T1-c (flooding class), T1-d (revocable), plus the diameter-2
 // clique-of-cliques cells motivated by the Chatterjee et al. chasm. All
 // sweeps are expanded into one spec list so -parallel overlaps every cell.
+//
+// The -quick defaults were promoted once the orchestrator made larger
+// sweeps affordable: 8 trials per cell (was 5) and one more size step per
+// family (expanders to n=256, cycles to 96, complete to 128, diam2 to
+// 129). CI's bench-gate runs this matrix, so the quick cells double as the
+// regression-gate workload — changing them requires regenerating
+// testdata/BENCH_baseline.json (make baseline).
 func table1(s *session) error {
 	trials := pickTrials(s.trials, 10)
 	if s.quick {
-		trials = pickTrials(s.trials, 5)
+		trials = pickTrials(s.trials, 8)
 	}
 	opts := harness.TrialOpts{Trials: trials, Seed: s.seed}
 	type sweep struct {
@@ -170,25 +189,25 @@ func table1(s *session) error {
 	}
 	sweeps := []sweep{
 		{"T1-a IRE (this work) on expanders", harness.ProtoIRE, "expander",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
 		{"T1-a IRE (this work) on hypercubes", harness.ProtoIRE, "hypercube",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
 		{"T1-a IRE (this work) on cycles", harness.ProtoIRE, "cycle",
-			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
+			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64, 96})},
 		{"T1-a IRE (this work) on complete graphs", harness.ProtoIRE, "complete",
-			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64})},
+			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64, 128})},
 		{"T1-a IRE (this work) on diameter-2 clique-of-cliques", harness.ProtoIRE, "diam2",
-			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65})},
+			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65, 129})},
 		{"T1-b Gilbert-class baseline on expanders", harness.ProtoWalkNotify, "expander",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
 		{"T1-b Gilbert-class baseline on cycles", harness.ProtoWalkNotify, "cycle",
-			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64})},
+			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64, 96})},
 		{"T1-c FloodMax (Kutten-class) on expanders", harness.ProtoFlood, "expander",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128})},
+			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
 		{"T1-c FloodMax (Kutten-class) on complete graphs", harness.ProtoFlood, "complete",
-			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64})},
+			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64, 128})},
 		{"T1-c FloodMax (Kutten-class) on diameter-2 clique-of-cliques", harness.ProtoFlood, "diam2",
-			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65})},
+			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65, 129})},
 	}
 
 	// One flat spec list; remember each sweep's slice for rendering.
@@ -214,11 +233,11 @@ func table1(s *session) error {
 // parameters on tiny complete graphs (where the Theorem 3 polynomials are
 // simulable) and calibrated on cycles.
 func revocableRows(s *session) error {
-	trials := pickTrials(s.trials, 5)
-	if s.quick {
-		trials = pickTrials(s.trials, 2)
-	}
-	sizes := pick(s.quick, []int{3, 4, 6, 8}, []int{3, 4})
+	// Quick keeps 6 trials: below that the Wilson intervals of a full
+	// success collapse (k/k -> 0/k) still overlap, so the benchdiff
+	// success gate would be vacuous on these cells.
+	trials := pickTrials(s.trials, 6)
+	sizes := pick(s.quick, []int{3, 4, 6, 8}, []int{3, 4, 6})
 	// The profile's exact i(G) selects the Theorem 3 schedule.
 	opts := harness.TrialOpts{Trials: trials, Seed: s.seed, RevocableUseProfileIso: true}
 	cells, err := s.sweep(harness.SweepSpecs(harness.ProtoRevocable, "complete", sizes, opts))
@@ -288,12 +307,14 @@ func ablations(s *session) error {
 func knowledge(s *session) error {
 	trials := pickTrials(s.trials, 10)
 	if s.quick {
-		trials = pickTrials(s.trials, 4)
+		trials = pickTrials(s.trials, 6)
 	}
 	factors := []float64{0.25, 0.5, 1, 2, 4}
+	// Quick used to shrink to expander/64 and diam2/33; the orchestrator
+	// made the full-size cells cheap enough to keep everywhere.
 	workloads := []harness.Workload{
-		{Family: "expander", N: pick(s.quick, []int{128}, []int{64})[0]},
-		{Family: "diam2", N: pick(s.quick, []int{65}, []int{33})[0]},
+		{Family: "expander", N: 128},
+		{Family: "diam2", N: 65},
 	}
 	for _, w := range workloads {
 		specs := harness.KnowledgeSpecs(w, factors, trials, s.seed)

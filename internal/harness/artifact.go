@@ -5,19 +5,64 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"anonlead/internal/stats"
 )
 
 // ArtifactSchema identifies the BENCH_harness.json format version. Bump it
 // when the cell layout changes so trajectory tooling can tell formats apart.
-const ArtifactSchema = "anonlead/bench-harness/v1"
+//
+// v2 keeps every v1 field (per-cell means, counts, graph profile,
+// predictions) and adds per-metric distributions plus a Wilson interval on
+// the success rate, so cross-PR diffing can use variance-aware thresholds
+// instead of bare point estimates.
+const ArtifactSchema = "anonlead/bench-harness/v2"
+
+// ArtifactSchemaV1 is the legacy means-only format. benchdiff still reads
+// it, downgrading to a means-only comparison.
+const ArtifactSchemaV1 = "anonlead/bench-harness/v1"
 
 // ArtifactName is the conventional file name CI uploads for cross-PR perf
 // trajectory tracking.
 const ArtifactName = "BENCH_harness.json"
 
+// ArtifactDist is the persisted distribution of one per-trial metric: the
+// spread around the mean that the flat per-cell fields already carry. All
+// values are over the cell's trials.
+type ArtifactDist struct {
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// newArtifactDist converts an in-memory distribution to its persisted
+// shape (N and Mean live elsewhere in the cell: trials and the flat mean).
+func newArtifactDist(d stats.Dist) *ArtifactDist {
+	return &ArtifactDist{
+		StdDev: d.StdDev, Min: d.Min, Max: d.Max,
+		P50: d.P50, P90: d.P90, P99: d.P99,
+	}
+}
+
+// Dist converts back to the stats shape, rehydrating N and Mean from the
+// cell's flat fields (what benchdiff feeds into variance-aware thresholds).
+func (d *ArtifactDist) Dist(trials int, mean float64) stats.Dist {
+	if d == nil {
+		return stats.Dist{N: trials, Mean: mean}
+	}
+	return stats.Dist{
+		N: trials, Mean: mean, StdDev: d.StdDev,
+		Min: d.Min, Max: d.Max, P50: d.P50, P90: d.P90, P99: d.P99,
+	}
+}
+
 // ArtifactCell is one sweep cell in the machine-readable artifact: the
 // measured aggregate plus the graph profile and the paper's predicted
-// complexities for that cell.
+// complexities for that cell. The *_dist objects and the success-rate
+// interval are schema v2 additions; they are nil/absent in v1 artifacts.
 type ArtifactCell struct {
 	Protocol    string  `json:"protocol"`
 	Family      string  `json:"family"`
@@ -37,8 +82,26 @@ type ArtifactCell struct {
 	Rounds       float64 `json:"rounds"`
 	Charged      float64 `json:"charged"`
 
+	// Success rate with its ~95% Wilson-score interval (v2).
+	SuccessRate float64 `json:"success_rate"`
+	SuccessLo   float64 `json:"success_lo"`
+	SuccessHi   float64 `json:"success_hi"`
+
+	// Per-trial metric distributions (v2).
+	MessagesDist *ArtifactDist `json:"messages_dist,omitempty"`
+	BitsDist     *ArtifactDist `json:"bits_dist,omitempty"`
+	RoundsDist   *ArtifactDist `json:"rounds_dist,omitempty"`
+	ChargedDist  *ArtifactDist `json:"charged_dist,omitempty"`
+
 	PredictedMsgs float64 `json:"predicted_msgs"`
 	PredictedTime float64 `json:"predicted_time"`
+}
+
+// HasDists reports whether the cell carries the v2 distribution objects
+// (a v1 artifact decoded into this struct does not).
+func (c ArtifactCell) HasDists() bool {
+	return c.MessagesDist != nil && c.BitsDist != nil &&
+		c.RoundsDist != nil && c.ChargedDist != nil
 }
 
 // Artifact is the BENCH_harness.json payload: one orchestrated sweep in a
@@ -84,7 +147,13 @@ func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Du
 			Bits:         c.Bits,
 			Rounds:       c.Rounds,
 			Charged:      c.Charged,
+			SuccessRate:  c.SuccessRate(),
+			MessagesDist: newArtifactDist(c.MessagesDist),
+			BitsDist:     newArtifactDist(c.BitsDist),
+			RoundsDist:   newArtifactDist(c.RoundsDist),
+			ChargedDist:  newArtifactDist(c.ChargedDist),
 		}
+		ac.SuccessLo, ac.SuccessHi = stats.Wilson(c.Successes, c.Trials)
 		if prof != nil {
 			ac.M = prof.M
 			ac.Diameter = prof.Diameter
@@ -133,4 +202,35 @@ func (a Artifact) WriteFile(path string) error {
 		return fmt.Errorf("harness: write artifact: %w", err)
 	}
 	return nil
+}
+
+// ReadArtifact decodes a bench artifact, accepting both the current v2
+// schema and the legacy v1 (whose cells simply lack the distribution
+// fields). Unknown schemas are rejected so trajectory tooling fails loudly
+// on foreign files rather than comparing garbage.
+func ReadArtifact(buf []byte) (Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return Artifact{}, fmt.Errorf("harness: decode artifact: %w", err)
+	}
+	switch a.Schema {
+	case ArtifactSchema, ArtifactSchemaV1:
+		return a, nil
+	default:
+		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s or %s)",
+			a.Schema, ArtifactSchema, ArtifactSchemaV1)
+	}
+}
+
+// ReadArtifactFile reads and decodes a bench artifact from disk.
+func ReadArtifactFile(path string) (Artifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("harness: read artifact: %w", err)
+	}
+	a, err := ReadArtifact(buf)
+	if err != nil {
+		return Artifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
 }

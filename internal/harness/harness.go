@@ -14,6 +14,7 @@ import (
 	"anonlead/internal/rng"
 	"anonlead/internal/sim"
 	"anonlead/internal/spectral"
+	"anonlead/internal/stats"
 )
 
 // Protocol names a protocol under test.
@@ -91,6 +92,13 @@ type Cell struct {
 	Bits     float64
 	Rounds   float64
 	Charged  float64
+	// Per-trial distributions of the same metrics (stddev, min/max, tail
+	// quantiles) — what the schema-v2 artifact persists so regression
+	// tooling can separate real effects from trial variance.
+	MessagesDist stats.Dist
+	BitsDist     stats.Dist
+	RoundsDist   stats.Dist
+	ChargedDist  stats.Dist
 	// MultiLeaders counts trials with more than one leader (vs zero).
 	MultiLeaders int
 	ZeroLeaders  int
@@ -131,6 +139,10 @@ func prepareCell(w Workload, seed uint64) (*graph.Graph, *spectral.Profile, erro
 // to floating-point summation order.
 func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) Cell {
 	cell := Cell{Protocol: p, Workload: w, Profile: prof}
+	msgs := make([]float64, 0, len(trials))
+	bits := make([]float64, 0, len(trials))
+	rounds := make([]float64, 0, len(trials))
+	charged := make([]float64, 0, len(trials))
 	for _, trial := range trials {
 		cell.Trials++
 		if trial.Success {
@@ -142,16 +154,19 @@ func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) 
 		if trial.Leaders == 0 {
 			cell.ZeroLeaders++
 		}
-		cell.Messages += float64(trial.Metrics.Messages)
-		cell.Bits += float64(trial.Metrics.Bits)
-		cell.Rounds += float64(trial.Rounds)
-		cell.Charged += float64(trial.Metrics.ChargedRounds)
+		msgs = append(msgs, float64(trial.Metrics.Messages))
+		bits = append(bits, float64(trial.Metrics.Bits))
+		rounds = append(rounds, float64(trial.Rounds))
+		charged = append(charged, float64(trial.Metrics.ChargedRounds))
 	}
-	inv := 1 / float64(cell.Trials)
-	cell.Messages *= inv
-	cell.Bits *= inv
-	cell.Rounds *= inv
-	cell.Charged *= inv
+	cell.MessagesDist = stats.DistOf(msgs)
+	cell.BitsDist = stats.DistOf(bits)
+	cell.RoundsDist = stats.DistOf(rounds)
+	cell.ChargedDist = stats.DistOf(charged)
+	cell.Messages = cell.MessagesDist.Mean
+	cell.Bits = cell.BitsDist.Mean
+	cell.Rounds = cell.RoundsDist.Mean
+	cell.Charged = cell.ChargedDist.Mean
 	return cell
 }
 

@@ -21,33 +21,8 @@ type Summary struct {
 
 // Summarize computes summary statistics; an empty sample yields zeros.
 func Summarize(xs []float64) Summary {
-	var s Summary
-	s.N = len(xs)
-	if s.N == 0 {
-		return s
-	}
-	s.Min, s.Max = xs[0], xs[0]
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
-	}
-	s.Mean = sum / float64(s.N)
-	if s.N > 1 {
-		ss := 0.0
-		for _, x := range xs {
-			d := x - s.Mean
-			ss += d * d
-		}
-		s.StdDev = math.Sqrt(ss / float64(s.N-1))
-	}
-	s.Median = Quantile(xs, 0.5)
-	return s
+	d := DistOf(xs)
+	return Summary{N: d.N, Mean: d.Mean, StdDev: d.StdDev, Min: d.Min, Max: d.Max, Median: d.P50}
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation of
@@ -58,6 +33,28 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns the qs-quantiles of xs in one pass: the sample is
+// copied and sorted once, then each quantile is read by the same linear
+// interpolation as Quantile. An empty sample yields all zeros.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// quantileSorted reads the q-quantile of an already-sorted non-empty
+// sample by linear interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -72,6 +69,75 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Dist is a compact description of a sample's distribution: the moments
+// and tail quantiles the bench artifact persists per metric so regression
+// tooling can reason about variance, not just point estimates.
+type Dist struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (Bessel-corrected)
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// DistOf computes the distribution of a sample. An empty sample yields the
+// zero Dist; a single observation has zero spread.
+func DistOf(xs []float64) Dist {
+	var d Dist
+	d.N = len(xs)
+	if d.N == 0 {
+		return d
+	}
+	d.Min, d.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < d.Min {
+			d.Min = x
+		}
+		if x > d.Max {
+			d.Max = x
+		}
+	}
+	d.Mean = sum / float64(d.N)
+	if d.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			dev := x - d.Mean
+			ss += dev * dev
+		}
+		d.StdDev = math.Sqrt(ss / float64(d.N-1))
+	}
+	q := Quantiles(xs, 0.5, 0.9, 0.99)
+	d.P50, d.P90, d.P99 = q[0], q[1], q[2]
+	return d
+}
+
+// StdErr returns the standard error of the sample mean (0 for fewer than
+// two observations).
+func (d Dist) StdErr() float64 {
+	if d.N < 2 {
+		return 0
+	}
+	return d.StdDev / math.Sqrt(float64(d.N))
+}
+
+// WelchStdErr combines two sample means' uncertainty into the standard
+// error of their difference (Welch's form: no equal-variance assumption).
+func WelchStdErr(a, b Dist) float64 {
+	var v float64
+	if a.N > 1 {
+		v += a.StdDev * a.StdDev / float64(a.N)
+	}
+	if b.N > 1 {
+		v += b.StdDev * b.StdDev / float64(b.N)
+	}
+	return math.Sqrt(v)
 }
 
 // Wilson returns the Wilson-score confidence interval for a binomial

@@ -71,6 +71,93 @@ func TestQuantileMonotone(t *testing.T) {
 	}
 }
 
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7, 2, 8}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	got := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Fatalf("q=%v: Quantiles %v, Quantile %v", q, got[i], want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 9 {
+		t.Fatal("Quantiles sorted caller slice")
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	got := Quantiles(nil, 0.5, 0.9)
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty quantiles %v", got)
+	}
+	if got := Quantiles([]float64{1, 2, 3}); len(got) != 0 {
+		t.Fatalf("no qs requested: %v", got)
+	}
+}
+
+func TestDistOfKnownValues(t *testing.T) {
+	d := DistOf([]float64{1, 2, 3, 4, 5})
+	if d.N != 5 || d.Mean != 3 || d.Min != 1 || d.Max != 5 || d.P50 != 3 {
+		t.Fatalf("dist %+v", d)
+	}
+	if math.Abs(d.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev %v", d.StdDev)
+	}
+	if d.P90 < d.P50 || d.P99 < d.P90 || d.P99 > d.Max {
+		t.Fatalf("tail quantiles disordered: %+v", d)
+	}
+	if se := d.StdErr(); math.Abs(se-d.StdDev/math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("stderr %v", se)
+	}
+}
+
+func TestDistOfEmpty(t *testing.T) {
+	d := DistOf(nil)
+	if d != (Dist{}) {
+		t.Fatalf("empty dist %+v", d)
+	}
+	if d.StdErr() != 0 {
+		t.Fatal("empty stderr")
+	}
+}
+
+func TestDistOfSingleTrial(t *testing.T) {
+	d := DistOf([]float64{7})
+	if d.N != 1 || d.Mean != 7 || d.StdDev != 0 || d.Min != 7 || d.Max != 7 {
+		t.Fatalf("single dist %+v", d)
+	}
+	if d.P50 != 7 || d.P90 != 7 || d.P99 != 7 {
+		t.Fatalf("single quantiles %+v", d)
+	}
+	if d.StdErr() != 0 {
+		t.Fatal("single-trial stderr should be 0")
+	}
+}
+
+func TestDistOfAllEqual(t *testing.T) {
+	d := DistOf([]float64{4, 4, 4, 4})
+	if d.StdDev != 0 || d.Min != 4 || d.Max != 4 || d.P50 != 4 || d.P99 != 4 {
+		t.Fatalf("all-equal dist %+v", d)
+	}
+	if d.StdErr() != 0 {
+		t.Fatal("all-equal stderr should be 0")
+	}
+}
+
+func TestWelchStdErr(t *testing.T) {
+	a := DistOf([]float64{1, 2, 3, 4})
+	b := DistOf([]float64{10, 20, 30, 40})
+	want := math.Sqrt(a.StdDev*a.StdDev/4 + b.StdDev*b.StdDev/4)
+	if got := WelchStdErr(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("welch %v want %v", got, want)
+	}
+	// Degenerate inputs contribute nothing rather than NaN.
+	if got := WelchStdErr(Dist{}, Dist{N: 1}); got != 0 {
+		t.Fatalf("degenerate welch %v", got)
+	}
+}
+
 func TestWilson(t *testing.T) {
 	lo, hi := Wilson(50, 100)
 	if lo >= 0.5 || hi <= 0.5 {

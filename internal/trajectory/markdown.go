@@ -1,0 +1,126 @@
+package trajectory
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the report as a GitHub-flavored summary: headline
+// counts, the schema downgrade note when a v1 artifact is involved, a
+// table of every changed metric, and the added/removed cell lists. CI
+// appends it to $GITHUB_STEP_SUMMARY; it is also benchdiff's stdout.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("## benchdiff\n\n")
+	fmt.Fprintf(&b, "base `%s` · head `%s`\n\n", r.BaseSchema, r.HeadSchema)
+	if r.MeansOnly {
+		b.WriteString("> ⚠️ schema mismatch, means-only comparison: a v1 artifact carries no " +
+			"distributions, so variance-aware thresholds are disabled and only the relative " +
+			"tolerance applies.\n\n")
+	}
+	fmt.Fprintf(&b, "**%d regressed · %d improved · %d unchanged** across %d aligned cells",
+		r.Regressed, r.Improved, r.Unchanged, len(r.Cells))
+	if len(r.Added) > 0 || len(r.Removed) > 0 {
+		fmt.Fprintf(&b, " (+%d added, −%d removed)", len(r.Added), len(r.Removed))
+	}
+	b.WriteString("\n\n")
+
+	changed := false
+	for _, cd := range r.Cells {
+		for _, md := range cd.Metrics {
+			if md.Status != Unchanged {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		b.WriteString("| cell | metric | base | head | Δ | effect | status |\n")
+		b.WriteString("|---|---|---:|---:|---:|---:|---|\n")
+		for _, cd := range r.Cells {
+			for _, md := range cd.Metrics {
+				if md.Status == Unchanged {
+					continue
+				}
+				fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s %s |\n",
+					cd.Key, md.Metric, fmtVal(md.Base), fmtVal(md.Head),
+					fmtDelta(md), fmtEffect(md), statusIcon(md.Status), md.Status)
+			}
+		}
+		b.WriteString("\n")
+	} else if len(r.Cells) > 0 {
+		b.WriteString("All aligned metrics within thresholds.\n\n")
+	}
+
+	if len(r.Removed) > 0 {
+		b.WriteString("**Removed cells** (in base only — a shrunk sweep can hide regressions):\n")
+		for _, k := range r.Removed {
+			fmt.Fprintf(&b, "- %s\n", k)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Added) > 0 {
+		b.WriteString("**Added cells** (in head only, no baseline to compare):\n")
+		for _, k := range r.Added {
+			fmt.Fprintf(&b, "- %s\n", k)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Thresholds: rel-tol %.3g, sigmas %.3g.\n",
+		r.Thresholds.RelTol, r.Thresholds.Sigmas)
+	return b.String()
+}
+
+// fmtVal renders a metric value compactly (counts dominate; rates are
+// small and keep their precision).
+func fmtVal(v float64) string {
+	switch {
+	case v != 0 && (v >= 1e7 || v < 1e-2):
+		return fmt.Sprintf("%.3g", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// fmtDelta renders the relative change. A metric appearing from a zero
+// base has no finite relative delta (RelDelta stays 0 in the report);
+// rendering that as "+0.0%" would contradict the flagged status.
+func fmtDelta(md MetricDiff) string {
+	if md.Base == 0 && md.Head != 0 {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*md.RelDelta)
+}
+
+// fmtEffect renders the effect size in standard errors when variance was
+// available, or marks the comparison as means-only.
+func fmtEffect(md MetricDiff) string {
+	if md.Metric == "success_rate" {
+		return "Wilson"
+	}
+	if md.StdErr == 0 {
+		return "—" // no variance available (v1 pair or zero-spread sample)
+	}
+	return fmt.Sprintf("%.1fσ", abs(md.Head-md.Base)/md.StdErr)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func statusIcon(s Status) string {
+	switch s {
+	case Regressed:
+		return "🔴"
+	case Improved:
+		return "🟢"
+	default:
+		return "⚪"
+	}
+}

@@ -1,0 +1,283 @@
+// Package trajectory compares bench artifacts across runs: it aligns the
+// sweep cells of a base and a head BENCH_harness.json by workload identity
+// and classifies each cost metric as improved, unchanged, or regressed.
+//
+// The paper's guarantees are probabilistic (w.h.p. message/time bounds),
+// so per-cell measurements carry real trial variance; a useful regression
+// gate must separate effects from noise. With schema-v2 artifacts the
+// classifier therefore demands an effect exceed BOTH a relative tolerance
+// and a multiple of the Welch standard error of the difference of means.
+// Legacy v1 artifacts carry only means, so the comparison downgrades to
+// the relative tolerance alone (Report.MeansOnly records this; benchdiff
+// prints it as an explicit downgrade note instead of erroring).
+package trajectory
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"anonlead/internal/harness"
+	"anonlead/internal/stats"
+)
+
+// Key identifies a sweep cell across artifacts: the workload coordinates
+// that make two cells comparable. Everything else (graph profile, trial
+// counts, measurements) may legitimately differ between runs.
+type Key struct {
+	Protocol  string `json:"protocol"`
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	PresumedN int    `json:"presumed_n,omitempty"`
+}
+
+func keyOf(c harness.ArtifactCell) Key {
+	return Key{Protocol: c.Protocol, Family: c.Family, N: c.N, PresumedN: c.PresumedN}
+}
+
+// String renders the key the way the rendered tables name cells.
+func (k Key) String() string {
+	s := fmt.Sprintf("%s %s/%d", k.Protocol, k.Family, k.N)
+	if k.PresumedN > 0 && k.PresumedN != k.N {
+		s += fmt.Sprintf(" (presumed n=%d)", k.PresumedN)
+	}
+	return s
+}
+
+// Status classifies one metric of one aligned cell.
+type Status string
+
+// The three classifications. For cost metrics lower is better; for the
+// success rate higher is better — Regressed always means "got worse".
+const (
+	Improved  Status = "improved"
+	Unchanged Status = "unchanged"
+	Regressed Status = "regressed"
+)
+
+// Thresholds tunes the classifier. The zero value selects the defaults.
+type Thresholds struct {
+	// RelTol is the minimum relative effect |head-base|/|base| to call a
+	// change (default 0.05). Guards against flagging tiny absolute drifts
+	// on metrics with near-zero variance.
+	RelTol float64 `json:"rel_tol"`
+	// Sigmas is the minimum effect in units of the Welch standard error
+	// of the difference of means (default 3). Guards against flagging
+	// trial noise. Only applies when both artifacts carry distributions.
+	Sigmas float64 `json:"sigmas"`
+}
+
+// withDefaults resolves zero fields to the default thresholds.
+func (t Thresholds) withDefaults() Thresholds {
+	if t.RelTol <= 0 {
+		t.RelTol = 0.05
+	}
+	if t.Sigmas <= 0 {
+		t.Sigmas = 3
+	}
+	return t
+}
+
+// MetricDiff is the comparison of one metric on one aligned cell.
+type MetricDiff struct {
+	Metric string `json:"metric"`
+	// Base and Head are the per-trial means (or rates for success_rate).
+	Base float64 `json:"base"`
+	Head float64 `json:"head"`
+	// RelDelta is (head-base)/|base|. When base is 0 it stays 0 (JSON has
+	// no Inf) and Status alone carries the verdict.
+	RelDelta float64 `json:"rel_delta"`
+	// StdErr is the Welch standard error of head-base (0 when either side
+	// lacks distributions or has fewer than two trials).
+	StdErr float64 `json:"stderr"`
+	Status Status  `json:"status"`
+}
+
+// CellDiff is one aligned cell's comparison across all metrics.
+type CellDiff struct {
+	Key     Key          `json:"key"`
+	Metrics []MetricDiff `json:"metrics"`
+}
+
+// Report is the full artifact comparison.
+type Report struct {
+	BaseSchema string     `json:"base_schema"`
+	HeadSchema string     `json:"head_schema"`
+	MeansOnly  bool       `json:"means_only"`
+	Thresholds Thresholds `json:"thresholds"`
+	Cells      []CellDiff `json:"cells"`
+	// Added and Removed list cells present in only one artifact. They are
+	// reported, not classified — a shrunk sweep can hide a regression, so
+	// the markdown summary calls them out loudly.
+	Added   []Key `json:"added,omitempty"`
+	Removed []Key `json:"removed,omitempty"`
+
+	Improved  int `json:"improved"`
+	Unchanged int `json:"unchanged"`
+	Regressed int `json:"regressed"`
+}
+
+// HasRegressions reports whether any aligned metric regressed.
+func (r Report) HasRegressions() bool { return r.Regressed > 0 }
+
+// JSON renders the report machine-readably.
+func (r Report) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("trajectory: marshal report: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// costMetrics names the lower-is-better metrics, in report order.
+var costMetrics = []string{"messages", "bits", "rounds", "charged"}
+
+// cellDist extracts the named cost metric's distribution from a cell,
+// rehydrating trials and mean (a v1 cell yields a zero-spread Dist).
+func cellDist(c harness.ArtifactCell, metric string) stats.Dist {
+	switch metric {
+	case "messages":
+		return c.MessagesDist.Dist(c.Trials, c.Messages)
+	case "bits":
+		return c.BitsDist.Dist(c.Trials, c.Bits)
+	case "rounds":
+		return c.RoundsDist.Dist(c.Trials, c.Rounds)
+	case "charged":
+		return c.ChargedDist.Dist(c.Trials, c.Charged)
+	default:
+		panic("trajectory: unknown metric " + metric)
+	}
+}
+
+// classifyCost compares one lower-is-better metric. A change is called
+// only when the effect clears the relative tolerance AND (when variance is
+// available) Sigmas standard errors of the difference.
+func classifyCost(metric string, base, head stats.Dist, th Thresholds, meansOnly bool) MetricDiff {
+	d := MetricDiff{Metric: metric, Base: base.Mean, Head: head.Mean, Status: Unchanged}
+	delta := head.Mean - base.Mean
+	if base.Mean != 0 {
+		d.RelDelta = delta / math.Abs(base.Mean)
+	}
+	if !meansOnly {
+		d.StdErr = stats.WelchStdErr(base, head)
+	}
+	if delta == 0 {
+		return d
+	}
+	// Relative gate; a metric appearing from zero is always a change.
+	if base.Mean != 0 && math.Abs(delta) <= th.RelTol*math.Abs(base.Mean) {
+		return d
+	}
+	// Variance gate (vacuous for means-only or zero-variance samples).
+	if math.Abs(delta) <= th.Sigmas*d.StdErr {
+		return d
+	}
+	if delta > 0 {
+		d.Status = Regressed
+	} else {
+		d.Status = Improved
+	}
+	return d
+}
+
+// classifySuccess compares the success rate (higher is better) by Wilson
+// interval disjointness, which both schemas support: successes and trials
+// are v1 fields, so this comparison never downgrades.
+func classifySuccess(base, head harness.ArtifactCell) MetricDiff {
+	baseRate, headRate := rate(base), rate(head)
+	d := MetricDiff{Metric: "success_rate", Base: baseRate, Head: headRate, Status: Unchanged}
+	if baseRate != 0 {
+		d.RelDelta = (headRate - baseRate) / baseRate
+	}
+	baseLo, baseHi := stats.Wilson(base.Successes, base.Trials)
+	headLo, headHi := stats.Wilson(head.Successes, head.Trials)
+	switch {
+	case headHi < baseLo:
+		d.Status = Regressed
+	case headLo > baseHi:
+		d.Status = Improved
+	}
+	return d
+}
+
+func rate(c harness.ArtifactCell) float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Successes) / float64(c.Trials)
+}
+
+// Diff aligns the cells of two artifacts by Key and classifies every
+// metric. Aligned cells keep base order; duplicates of a key pair up by
+// occurrence index, with unpaired occurrences reported as added/removed.
+func Diff(base, head harness.Artifact, th Thresholds) Report {
+	th = th.withDefaults()
+	r := Report{
+		BaseSchema: base.Schema,
+		HeadSchema: head.Schema,
+		Thresholds: th,
+	}
+
+	headIdx := make(map[Key][]int, len(head.Cells))
+	for i, c := range head.Cells {
+		k := keyOf(c)
+		headIdx[k] = append(headIdx[k], i)
+	}
+	matchedHead := make([]bool, len(head.Cells))
+	taken := make(map[Key]int, len(headIdx))
+
+	for _, bc := range base.Cells {
+		k := keyOf(bc)
+		idxs := headIdx[k]
+		if taken[k] >= len(idxs) {
+			r.Removed = append(r.Removed, k)
+			continue
+		}
+		hc := head.Cells[idxs[taken[k]]]
+		matchedHead[idxs[taken[k]]] = true
+		taken[k]++
+
+		// The whole pair downgrades to means-only if either side lacks
+		// distributions (v1 schema, or a hand-edited v2 cell).
+		meansOnly := !bc.HasDists() || !hc.HasDists()
+		if meansOnly {
+			r.MeansOnly = true
+		}
+		cd := CellDiff{Key: k}
+		for _, m := range costMetrics {
+			cd.Metrics = append(cd.Metrics,
+				classifyCost(m, cellDist(bc, m), cellDist(hc, m), th, meansOnly))
+		}
+		cd.Metrics = append(cd.Metrics, classifySuccess(bc, hc))
+		for _, md := range cd.Metrics {
+			switch md.Status {
+			case Improved:
+				r.Improved++
+			case Regressed:
+				r.Regressed++
+			default:
+				r.Unchanged++
+			}
+		}
+		r.Cells = append(r.Cells, cd)
+	}
+	for i, hc := range head.Cells {
+		if !matchedHead[i] {
+			r.Added = append(r.Added, keyOf(hc))
+		}
+	}
+	return r
+}
+
+// DiffFiles loads two artifact files and diffs them.
+func DiffFiles(basePath, headPath string, th Thresholds) (Report, error) {
+	base, err := harness.ReadArtifactFile(basePath)
+	if err != nil {
+		return Report{}, err
+	}
+	head, err := harness.ReadArtifactFile(headPath)
+	if err != nil {
+		return Report{}, err
+	}
+	return Diff(base, head, th), nil
+}
