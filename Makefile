@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-artifact benchdiff baseline lint fmt ci clean
+.PHONY: all build test race bench faults-smoke bench-artifact benchdiff baseline lint fmt ci clean
 
 all: build
 
@@ -14,20 +14,27 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent subsystems (simulator schedulers
-# and the experiment orchestrator).
+# — actors lifecycle and tracing included — the experiment orchestrator,
+# and the adversary layer they both drive).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/harness/...
+	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/adversary/...
 
 # Bench smoke: every benchmark once. BenchmarkHarnessSweep writes
 # BENCH_harness.json, which CI uploads for cross-PR perf tracking.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Fault-injection smoke: the quick resilience curves (message loss,
+# crash-stop, churn, jitter degradation) end to end through the adversary
+# subsystem. CI's bench-smoke job runs this next to the benchmarks.
+faults-smoke:
+	$(GO) run ./cmd/lebench -exp faults -quick -parallel
+
 # The regression-gate sweep: every artifact cell (Table 1 + the X4
-# knowledge ablation) at the promoted -quick defaults, written as a
-# schema-v2 artifact. Deterministic for a fixed -seed regardless of
-# worker/shard count, so the same command regenerates the same cells on
-# any machine.
+# knowledge ablation + the fault-injection resilience curves) at the
+# promoted -quick defaults, written as a schema-v3 artifact. Deterministic
+# for a fixed -seed regardless of worker/shard count, so the same command
+# regenerates the same cells on any machine.
 bench-artifact:
 	$(GO) run ./cmd/lebench -exp sweeps -quick -parallel -json BENCH_harness.json
 

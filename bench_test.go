@@ -70,7 +70,7 @@ func BenchmarkTable1IRE(b *testing.B) {
 			var msgs, bits, rounds, charged float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				trial, err := harness.RunIRETrial(g, cfg, uint64(i)+1, false)
+				trial, err := harness.RunIRETrial(g, cfg, uint64(i)+1, harness.SimOpts{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -102,7 +102,7 @@ func BenchmarkTable1Gilbert(b *testing.B) {
 			var msgs, bits, rounds, charged float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				trial, err := harness.RunWalkNotifyTrial(g, cfg, uint64(i)+1, false)
+				trial, err := harness.RunWalkNotifyTrial(g, cfg, uint64(i)+1, harness.SimOpts{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -133,7 +133,7 @@ func BenchmarkTable1Flood(b *testing.B) {
 			var msgs, bits, rounds, charged float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				trial, err := harness.RunFloodTrial(g, cfg, uint64(i)+1, false)
+				trial, err := harness.RunFloodTrial(g, cfg, uint64(i)+1, harness.SimOpts{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -159,7 +159,7 @@ func BenchmarkTable1Revocable(b *testing.B) {
 			var msgs, bits, rounds, charged float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				trial, err := harness.RunRevocableTrial(g, cfg, uint64(i)+1, 0, false)
+				trial, err := harness.RunRevocableTrial(g, cfg, uint64(i)+1, 0, harness.SimOpts{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -238,7 +238,7 @@ func BenchmarkAblationWalks(b *testing.B) {
 			success := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				trial, err := harness.RunIRETrial(g, cfg, uint64(i)+1, false)
+				trial, err := harness.RunIRETrial(g, cfg, uint64(i)+1, harness.SimOpts{})
 				if err != nil {
 					b.Fatal(err)
 				}

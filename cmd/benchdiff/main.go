@@ -6,24 +6,30 @@
 //
 //	benchdiff -base testdata/BENCH_baseline.json -head BENCH_harness.json
 //	benchdiff -base old.json -head new.json -fail-on regressed
+//	benchdiff -base old.json -head new.json -fail-on regressed,removed,drift
 //	benchdiff -base old.json -head new.json -json report.json
-//	benchdiff -base old.json -head new.json -rel-tol 0.1 -sigmas 2
+//	benchdiff -base old.json -head new.json -rel-tol 0.1 -sigmas 2 -drift-tol 0.5
+//	benchdiff -base old.json -head new.json -format csv > cells.csv
 //
 // The markdown summary goes to stdout (CI tees it into
-// $GITHUB_STEP_SUMMARY); -json additionally writes the machine-readable
-// report. -fail-on takes a comma-separated list of conditions: with
-// "regressed" the exit status is 1 when any aligned metric regressed, and
-// with "removed" when any baseline cell vanished from the head sweep —
-// without the latter a PR could pass the gate by simply deleting the
-// cells where a regression lives. CI runs "regressed,removed", which is
-// what turns the artifact from write-only telemetry into an enforced
-// perf/complexity contract.
+// $GITHUB_STEP_SUMMARY); -format csv instead emits one row per (cell,
+// metric) for spreadsheets and dashboards. -json additionally writes the
+// machine-readable report. -fail-on takes a comma-separated list of
+// conditions: with "regressed" the exit status is 1 when any aligned
+// metric regressed, with "removed" when any baseline cell vanished from
+// the head sweep — without that a PR could pass the gate by simply
+// deleting the cells where a regression lives — and with "drift" when any
+// cell's measured/predicted ratio (messages against the paper's message
+// bound, rounds against its time bound, both persisted per cell) moved by
+// more than -drift-tol relative to the baseline ratio. CI runs
+// "regressed,removed", which is what turns the artifact from write-only
+// telemetry into an enforced perf/complexity contract.
 //
-// Schema handling: v2 artifacts carry per-cell distributions, so the
-// classifier demands an effect exceed both a relative tolerance and a
-// multiple of the Welch standard error. Legacy v1 artifacts are still
-// accepted — the comparison downgrades to means-only and the summary says
-// so instead of erroring.
+// Schema handling: v3 artifacts key fault-injected resilience cells by
+// their adversary descriptor; v2 artifacts (no adversary identity) align
+// as fault-free and diff normally against v3. Legacy v1 artifacts are
+// still accepted — the comparison downgrades to means-only and the
+// summary says so instead of erroring.
 package main
 
 import (
@@ -48,9 +54,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		base     = fs.String("base", "", "baseline artifact (e.g. testdata/BENCH_baseline.json)")
 		head     = fs.String("head", "", "candidate artifact (e.g. BENCH_harness.json)")
 		jsonPath = fs.String("json", "", "also write the machine-readable report here")
-		failOn   = fs.String("fail-on", "none", "comma-separated exit-1 conditions: none, regressed, removed")
+		failOn   = fs.String("fail-on", "none", "comma-separated exit-1 conditions: none, regressed, removed, drift")
 		relTol   = fs.Float64("rel-tol", 0, "minimum relative effect to call a change (0 = default 0.05)")
 		sigmas   = fs.Float64("sigmas", 0, "minimum effect in Welch standard errors (0 = default 3)")
+		driftTol = fs.Float64("drift-tol", 0, "minimum relative measured/predicted ratio change to call drift (0 = default 0.25)")
+		format   = fs.String("format", "md", "stdout format: md (markdown summary) or csv (one row per cell metric)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,7 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	failRegressed, failRemoved := false, false
+	if *format != "md" && *format != "csv" {
+		fmt.Fprintf(stderr, "benchdiff: unknown -format %q (want md or csv)\n", *format)
+		return 2
+	}
+	failRegressed, failRemoved, failDrift := false, false, false
 	for _, cond := range strings.Split(*failOn, ",") {
 		switch strings.TrimSpace(cond) {
 		case "none", "":
@@ -68,19 +80,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failRegressed = true
 		case "removed":
 			failRemoved = true
+		case "drift":
+			failDrift = true
 		default:
-			fmt.Fprintf(stderr, "benchdiff: unknown -fail-on condition %q (want none, regressed, removed)\n", cond)
+			fmt.Fprintf(stderr, "benchdiff: unknown -fail-on condition %q (want none, regressed, removed, drift)\n", cond)
 			return 2
 		}
 	}
 
 	report, err := trajectory.DiffFiles(*base, *head,
-		trajectory.Thresholds{RelTol: *relTol, Sigmas: *sigmas})
+		trajectory.Thresholds{RelTol: *relTol, Sigmas: *sigmas, DriftTol: *driftTol})
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
-	fmt.Fprint(stdout, report.Markdown())
+	if *format == "csv" {
+		out, err := report.CSV()
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprint(stdout, out)
+	} else {
+		fmt.Fprint(stdout, report.Markdown())
+	}
 	if *jsonPath != "" {
 		buf, err := report.JSON()
 		if err != nil {
@@ -100,6 +123,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if failRemoved && len(report.Removed) > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d baseline cell(s) missing from head (refresh the baseline if intentional)\n",
 			len(report.Removed))
+		failed = true
+	}
+	if failDrift && report.HasDrift() {
+		fmt.Fprintf(stderr, "benchdiff: %d measured/predicted ratio(s) drifted beyond tolerance\n",
+			report.Drifted)
 		failed = true
 	}
 	if failed {

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/csv"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"anonlead/internal/adversary"
 	"anonlead/internal/harness"
 )
 
@@ -168,6 +170,121 @@ func TestBenchdiffUsageErrors(t *testing.T) {
 	if code := run([]string{"-base", "/nonexistent.json", "-head", "/nonexistent.json"}, &out, &errOut); code != 2 {
 		t.Fatalf("missing file accepted (exit %d)", code)
 	}
+}
+
+// TestBenchdiffCSVFormat: -format csv emits one parseable row per aligned
+// (cell, metric) with the identity columns leading.
+func TestBenchdiffCSVFormat(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", sweepArtifact(t, 1))
+	head := writeArtifact(t, dir, "head.json", sweepArtifact(t, 2))
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-base", base, "-head", head, "-format", "csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errOut.String())
+	}
+	records, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, out.String())
+	}
+	if got := strings.Join(records[0], ","); !strings.HasPrefix(got, "protocol,family,n,presumed_n,adversary,metric") {
+		t.Fatalf("header %q", got)
+	}
+	// 2 aligned cells × (4 cost + success + 2 drift ratios) metrics.
+	if want := 1 + 2*7; len(records) != want {
+		t.Fatalf("%d CSV rows, want %d:\n%s", len(records), want, out.String())
+	}
+	if !strings.Contains(out.String(), "regressed") {
+		t.Fatalf("csv missing classified rows:\n%s", out.String())
+	}
+	// Rejects unknown formats.
+	if code := run([]string{"-base", base, "-head", head, "-format", "xml"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -format accepted (exit %d)", code)
+	}
+}
+
+// TestBenchdiffDriftGate: scaling measured costs away from the persisted
+// predictions trips -fail-on drift, and a widened -drift-tol clears it.
+func TestBenchdiffDriftGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeArtifact(t, dir, "base.json", sweepArtifact(t, 1))
+	head := writeArtifact(t, dir, "head.json", sweepArtifact(t, 2)) // ratio doubles
+	var out, errOut bytes.Buffer
+	code := run([]string{"-base", base, "-head", head, "-fail-on", "drift"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on drifted ratios, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "drifted beyond tolerance") {
+		t.Fatalf("stderr missing drift verdict:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "msgs_vs_pred") {
+		t.Fatalf("summary missing drift rows:\n%s", out.String())
+	}
+	// The ratio moved 2x; tolerance above that passes.
+	code = run([]string{"-base", base, "-head", head, "-fail-on", "drift", "-drift-tol", "1.5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d with wide drift-tol, want 0; stderr:\n%s", code, errOut.String())
+	}
+	// Identical artifacts never drift.
+	same := writeArtifact(t, dir, "same.json", sweepArtifact(t, 1))
+	if code := run([]string{"-base", base, "-head", same, "-fail-on", "drift"}, &out, &errOut); code != 0 {
+		t.Fatalf("identical artifacts drifted (exit %d)", code)
+	}
+}
+
+// TestBenchdiffAlignsV2AgainstV3: a v2 baseline (no adversary identity)
+// diffs against a v3 head without error — its cells align with the head's
+// fault-free cells, and the head's fault-injected cells report as added.
+func TestBenchdiffAlignsV2AgainstV3(t *testing.T) {
+	dir := t.TempDir()
+	v3 := faultySweepArtifact(t)
+	v2 := harness.Artifact{Schema: harness.ArtifactSchemaV2, RootSeed: v3.RootSeed,
+		Workers: v3.Workers, Shards: v3.Shards}
+	for _, c := range v3.Cells {
+		if c.Adversary == "" {
+			v2.Cells = append(v2.Cells, c)
+		}
+	}
+	if len(v2.Cells) == 0 || len(v2.Cells) == len(v3.Cells) {
+		t.Fatalf("test wants a mix of fault-free and faulted cells, got %d/%d", len(v2.Cells), len(v3.Cells))
+	}
+	base := writeArtifact(t, dir, "base_v2.json", v2)
+	head := writeArtifact(t, dir, "head_v3.json", v3)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-base", base, "-head", head, "-fail-on", "regressed,removed"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("v2 base vs v3 head exited %d:\n%s\n%s", code, out.String(), errOut.String())
+	}
+	if strings.Contains(out.String(), "means-only comparison") {
+		t.Fatalf("v2/v3 pair downgraded to means-only:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "added") {
+		t.Fatalf("faulted head cells not reported as added:\n%s", out.String())
+	}
+	// And v3 against v3 aligns the faulted cells by descriptor.
+	head2 := writeArtifact(t, dir, "head2_v3.json", v3)
+	if code := run([]string{"-base", head, "-head", head2, "-fail-on", "regressed,removed"}, &out, &errOut); code != 0 {
+		t.Fatalf("v3 self-diff exited %d:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 regressed") {
+		t.Fatalf("v3 self-diff not clean:\n%s", out.String())
+	}
+}
+
+// faultySweepArtifact runs a tiny sweep with one fault-injected cell.
+func faultySweepArtifact(t *testing.T) harness.Artifact {
+	t.Helper()
+	specs := []harness.CellSpec{
+		{Protocol: harness.ProtoIRE, Workload: harness.Workload{Family: "complete", N: 16},
+			Opts: harness.TrialOpts{Trials: 3, Seed: 11}},
+		{Protocol: harness.ProtoIRE, Workload: harness.Workload{Family: "complete", N: 16},
+			Opts: harness.TrialOpts{Trials: 3, Seed: 11, Adversary: &adversary.Spec{Loss: 0.2}}},
+	}
+	o := harness.Orchestrator{Workers: 2}
+	cells, err := o.RunSweep(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.NewArtifact(o, specs, cells, 0)
 }
 
 // TestBenchdiffCheckedInBaseline sanity-checks the committed baseline

@@ -9,24 +9,33 @@
 //	lebench -exp figures           # pumping-wheel split-brain series
 //	lebench -exp ablations         # X1-X4 design ablations
 //	lebench -exp knowledge         # X4 knowledge ablation only
-//	lebench -exp sweeps            # table1 + knowledge (the artifact cells)
+//	lebench -exp faults            # F1-F4 fault-injection resilience curves
+//	lebench -exp sweeps            # table1 + knowledge + faults (the artifact cells)
 //	lebench -exp all -quick        # everything, reduced sweep
 //	lebench -exp table1 -parallel  # fan cells/trials over all CPUs
 //	lebench -exp table1 -parallel -shards 8 -json BENCH_harness.json
 //
-// -exp sweeps runs exactly the sweep-based experiments (Table 1 plus the
-// X4 knowledge ablation) — every cell that lands in the JSON artifact —
-// and is what CI's bench-gate job executes before diffing the artifact
-// against testdata/BENCH_baseline.json with cmd/benchdiff.
+// -exp faults runs the adversary subsystem's resilience sweeps
+// (internal/adversary): fault rate × protocol × graph family for message
+// loss, crash-stop schedules, link churn, and delivery jitter, each as a
+// degradation curve anchored at the fault-free cell. Fault-injected cells
+// carry their adversary descriptor in the schema-v3 artifact, so benchdiff
+// aligns and gates them like any other cell.
 //
-// With -parallel, the sweep-based experiments (table1 and the X4
-// knowledge ablation) fan their cells and per-cell trials out over a
-// bounded worker pool; per-trial seeds are split deterministically from
-// -seed, so the output is byte-identical to the sequential run. The
-// figures series and the X1-X3 ablations are bespoke trial loops and
-// always run sequentially. -json records every sweep cell executed during
-// the run in a machine-readable artifact for cross-PR perf trajectory
-// tracking (experiments that run no sweeps contribute no cells).
+// -exp sweeps runs exactly the sweep-based experiments (Table 1, the X4
+// knowledge ablation, and the fault-injection curves) — every cell that
+// lands in the JSON artifact — and is what CI's bench-gate job executes
+// before diffing the artifact against testdata/BENCH_baseline.json with
+// cmd/benchdiff.
+//
+// With -parallel, the sweep-based experiments (table1, knowledge, faults)
+// fan their cells and per-cell trials out over a bounded worker pool;
+// per-trial seeds are split deterministically from -seed, so the output
+// is byte-identical to the sequential run. The figures series and the
+// X1-X3 ablations are bespoke trial loops and always run sequentially.
+// -json records every sweep cell executed during the run in a
+// machine-readable artifact for cross-PR perf trajectory tracking
+// (experiments that run no sweeps contribute no cells).
 package main
 
 import (
@@ -82,7 +91,7 @@ func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, sweeps, all")
+		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, faults, sweeps, all")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast pass")
 		trials   = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		seed     = flag.Uint64("seed", 1, "root random seed")
@@ -113,14 +122,16 @@ func run() error {
 		err = ablations(s)
 	case "knowledge":
 		err = knowledge(s)
+	case "faults":
+		err = faults(s)
 	case "sweeps":
-		for _, f := range []func(*session) error{table1, knowledge} {
+		for _, f := range []func(*session) error{table1, knowledge, faults} {
 			if err = f(s); err != nil {
 				break
 			}
 		}
 	case "all":
-		for _, f := range []func(*session) error{table1, figures, ablations} {
+		for _, f := range []func(*session) error{table1, figures, ablations, faults} {
 			if err = f(s); err != nil {
 				break
 			}
@@ -300,6 +311,27 @@ func ablations(s *session) error {
 	fmt.Println(harness.RenderAblationDiffusion(dw, dpoints))
 
 	return knowledge(s)
+}
+
+// faults regenerates the F1-F4 fault-injection resilience curves: each
+// sweep perturbs one protocol on one family with an escalating adversary
+// ladder (message loss, crash-stop, link churn, delivery jitter) and
+// charts success/cost degradation against the fault-free anchor. The
+// quick matrix is part of the artifact cells CI's bench-gate diffs, so
+// resilience regressions gate like any other metric.
+func faults(s *session) error {
+	trials := pickTrials(s.trials, 10)
+	if s.quick {
+		trials = pickTrials(s.trials, 6)
+	}
+	for _, f := range harness.FaultSweeps(s.quick) {
+		cells, err := s.sweep(f.CellSpecs(trials, s.seed))
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFaults(f, cells))
+	}
+	return nil
 }
 
 // knowledge regenerates the X4 knowledge ablation (after Dieudonné-Pelc)

@@ -1,0 +1,351 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/sim"
+)
+
+func TestLossDeterministicAndRateSensitive(t *testing.T) {
+	a := NewLoss(0.5, 7)
+	b := NewLoss(0.5, 7)
+	drops := 0
+	for round := 0; round < 50; round++ {
+		for from := 0; from < 10; from++ {
+			d1, dl1 := a.Fate(round, from, 0, from+1)
+			d2, dl2 := b.Fate(round, from, 0, from+1)
+			if d1 != d2 || dl1 != dl2 {
+				t.Fatalf("same-seed adversaries disagree at round %d from %d", round, from)
+			}
+			if dl1 != 0 {
+				t.Fatal("loss adversary delayed a packet")
+			}
+			if d1 {
+				drops++
+			}
+		}
+	}
+	if drops < 150 || drops > 350 {
+		t.Fatalf("p=0.5 dropped %d/500, far from expectation", drops)
+	}
+	// Zero and one rates are exact.
+	never, always := NewLoss(0, 1), NewLoss(1, 1)
+	for round := 0; round < 20; round++ {
+		if d, _ := never.Fate(round, 0, 0, 1); d {
+			t.Fatal("p=0 dropped")
+		}
+		if d, _ := always.Fate(round, 0, 0, 1); !d {
+			t.Fatal("p=1 delivered")
+		}
+	}
+}
+
+// TestLossCallOrderIndependence pins the decision-stream property: the
+// fate of (round, from, port) does not depend on which other slots were
+// queried before it.
+func TestLossCallOrderIndependence(t *testing.T) {
+	forward, backward := NewLoss(0.5, 9), NewLoss(0.5, 9)
+	var f []bool
+	for round := 0; round < 10; round++ {
+		for from := 0; from < 5; from++ {
+			d, _ := forward.Fate(round, from, 0, 0)
+			f = append(f, d)
+		}
+	}
+	i := 0
+	for round := 9; round >= 0; round-- {
+		for from := 4; from >= 0; from-- {
+			d, _ := backward.Fate(round, from, 0, 0)
+			want := f[round*5+from]
+			if d != want {
+				t.Fatalf("slot (r%d,n%d) fate depends on query order", round, from)
+			}
+			i++
+		}
+	}
+}
+
+func TestRandomCrashSchedule(t *testing.T) {
+	n, by := 200, 16
+	c := NewRandomCrash(n, 0.25, by, 3)
+	crashed := 0
+	for v := 0; v < n; v++ {
+		r := c.CrashRound(v)
+		if r != NewRandomCrash(n, 0.25, by, 3).CrashRound(v) {
+			t.Fatal("crash schedule not deterministic")
+		}
+		if r >= 0 {
+			crashed++
+			if r > by {
+				t.Fatalf("node %d crashes at %d > by %d", v, r, by)
+			}
+		}
+	}
+	if crashed < 25 || crashed > 90 {
+		t.Fatalf("fraction 0.25 crashed %d/200, far from expectation", crashed)
+	}
+	if NewRandomCrash(n, 0, by, 3).CrashRound(0) != -1 {
+		// fraction 0 — spot-check one node, then all.
+		t.Fatal("fraction 0 crashed node 0")
+	}
+	none := NewRandomCrash(n, 0, by, 3)
+	for v := 0; v < n; v++ {
+		if none.CrashRound(v) >= 0 {
+			t.Fatalf("fraction 0 crashed node %d", v)
+		}
+	}
+}
+
+func TestCrashScheduleFixed(t *testing.T) {
+	c := NewCrashSchedule(8, map[int]int{2: 5, 7: 0, 9: 1, 3: -4})
+	want := map[int]int{0: -1, 1: -1, 2: 5, 3: -1, 4: -1, 5: -1, 6: -1, 7: 0}
+	for v, w := range want {
+		if got := c.CrashRound(v); got != w {
+			t.Fatalf("node %d crash round %d, want %d", v, got, w)
+		}
+	}
+	if c.CrashRound(9) != -1 || c.CrashRound(-1) != -1 {
+		t.Fatal("out-of-range node did not report never-crash")
+	}
+}
+
+func TestChurnSymmetricAndConnectivityPreserving(t *testing.T) {
+	g := graph.Cycle(12)
+	c := NewChurn(g, 0.5, false, 11)
+	downs := 0
+	for round := 0; round < 40; round++ {
+		for v := 0; v < g.N(); v++ {
+			w := g.Neighbor(v, 0)
+			d1, _ := c.Fate(round, v, 0, w)
+			d2, _ := c.Fate(round, w, g.PortTo(w, v), v)
+			if d1 != d2 {
+				t.Fatalf("edge {%d,%d} asymmetric in round %d", v, w, round)
+			}
+			if d1 {
+				downs++
+			}
+		}
+	}
+	if downs == 0 {
+		t.Fatal("p=0.5 churn never masked an edge")
+	}
+
+	// With preservation, the BFS tree stays up: under p=1 every non-tree
+	// edge is down, and the up-edges alone must keep the graph connected.
+	p := NewChurn(g, 1, true, 11)
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		if drop, _ := p.Fate(0, e[0], g.PortTo(e[0], e[1]), e[1]); !drop {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	live := b.Graph()
+	if !live.IsConnected() {
+		t.Fatal("connectivity-preserving churn disconnected the graph")
+	}
+	if live.M() >= g.M() {
+		t.Fatalf("p=1 preserving churn kept all %d edges", live.M())
+	}
+}
+
+func TestDelayBoundsAndDeterminism(t *testing.T) {
+	d := NewDelay(1, 3, 5)
+	d2 := NewDelay(1, 3, 5)
+	seen := map[int]int{}
+	for round := 0; round < 60; round++ {
+		drop, dl := d.Fate(round, 1, 0, 2)
+		drop2, dl2 := d2.Fate(round, 1, 0, 2)
+		if drop || drop2 {
+			t.Fatal("delay adversary dropped a packet")
+		}
+		if dl != dl2 {
+			t.Fatal("delay not deterministic")
+		}
+		if dl < 1 || dl > 3 {
+			t.Fatalf("p=1 delay %d outside [1,3]", dl)
+		}
+		seen[dl]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("delays not spread over the range: %v", seen)
+	}
+	if _, dl := NewDelay(0, 3, 5).Fate(0, 0, 0, 1); dl != 0 {
+		t.Fatal("p=0 delayed")
+	}
+	if d.MaxDelay() != 3 {
+		t.Fatalf("MaxDelay %d", d.MaxDelay())
+	}
+}
+
+func TestCompose(t *testing.T) {
+	if Compose() != nil || Compose(nil, nil) != nil {
+		t.Fatal("empty composition not nil")
+	}
+	l := NewLoss(1, 1)
+	if Compose(nil, l) != sim.Adversary(l) {
+		t.Fatal("single-part composition not unwrapped")
+	}
+	c := Compose(
+		NewLoss(1, 1),
+		NewCrashSchedule(4, map[int]int{1: 7, 2: 3}),
+		NewDelay(1, 2, 2),
+		NewDelay(1, 3, 4),
+	)
+	if got := c.MaxDelay(); got != 5 {
+		t.Fatalf("composed MaxDelay %d, want 5 (delays add)", got)
+	}
+	if got := c.CrashRound(1); got != 7 {
+		t.Fatalf("crash round %d, want 7", got)
+	}
+	if got := c.CrashRound(0); got != -1 {
+		t.Fatalf("crash round %d, want -1", got)
+	}
+	drop, delay := c.Fate(0, 0, 0, 1)
+	if !drop {
+		t.Fatal("composed loss p=1 did not drop")
+	}
+	if delay < 2 || delay > 5 {
+		t.Fatalf("composed delay %d outside [2,5]", delay)
+	}
+	// Earliest crash wins across layers.
+	c2 := Compose(NewCrashSchedule(4, map[int]int{1: 7}), NewCrashSchedule(4, map[int]int{1: 2}))
+	if got := c2.CrashRound(1); got != 2 {
+		t.Fatalf("earliest crash %d, want 2", got)
+	}
+}
+
+func TestSpecZeroAndValidate(t *testing.T) {
+	zero := []Spec{
+		{},
+		{Loss: 0, Churn: 0},
+		{MaxDelay: 3},         // no DelayProb → inert
+		{DelayProb: 0.5},      // no MaxDelay → inert
+		{CrashBy: 9},          // no fraction or schedule → inert
+		{ChurnPreserve: true}, // no churn rate → inert
+	}
+	for i, s := range zero {
+		if !s.IsZero() {
+			t.Fatalf("spec %d not zero: %+v", i, s)
+		}
+		adv, err := s.Build(graph.Cycle(4), 1)
+		if err != nil || adv != nil {
+			t.Fatalf("zero spec %d built %v, %v", i, adv, err)
+		}
+		if s.Descriptor() != "" {
+			t.Fatalf("zero spec %d descriptor %q", i, s.Descriptor())
+		}
+	}
+	bad := []Spec{
+		{Loss: 1.5},
+		{Loss: -0.1},
+		{CrashFraction: 2},
+		{Churn: -1},
+		{DelayProb: 7, MaxDelay: 1},
+		{CrashFraction: 0.5, CrashBy: -1},
+		{DelayProb: 0.5, MaxDelay: -2},
+		{CrashSchedule: map[int]int{-1: 4}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d validated: %+v", i, s)
+		}
+		if _, err := s.Build(graph.Cycle(4), 1); err == nil {
+			t.Fatalf("bad spec %d built: %+v", i, s)
+		}
+	}
+}
+
+func TestSpecDescriptorCanonical(t *testing.T) {
+	s := Spec{Loss: 0.1, CrashFraction: 0.25, CrashBy: 16, Churn: 0.05, ChurnPreserve: true,
+		DelayProb: 0.5, MaxDelay: 3}
+	want := "loss=0.1,crash=0.25@16,churn=0.05+conn,delay=0.5x3"
+	if got := s.Descriptor(); got != want {
+		t.Fatalf("descriptor %q, want %q", got, want)
+	}
+	if got := (Spec{Churn: 0.3}).Descriptor(); got != "churn=0.3" {
+		t.Fatalf("descriptor %q", got)
+	}
+	if got := (Spec{CrashSchedule: map[int]int{0: 1, 3: 2}}).Descriptor(); !strings.Contains(got, "crashsched=2") {
+		t.Fatalf("descriptor %q", got)
+	}
+}
+
+func TestSpecBuildComposesConfiguredParts(t *testing.T) {
+	g := graph.Torus(4, 8)
+	s := Spec{Loss: 0.2, CrashFraction: 0.3, CrashBy: 8, DelayProb: 0.5, MaxDelay: 2}
+	adv, err := s.Build(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv == nil {
+		t.Fatal("non-zero spec built nil")
+	}
+	if adv.MaxDelay() != 2 {
+		t.Fatalf("MaxDelay %d", adv.MaxDelay())
+	}
+	crashes := 0
+	for v := 0; v < g.N(); v++ {
+		if adv.CrashRound(v) >= 0 {
+			crashes++
+		}
+	}
+	if crashes == 0 || crashes == g.N() {
+		t.Fatalf("crash fraction 0.3 crashed %d/%d", crashes, g.N())
+	}
+	// Same seed rebuild is identical; different seed differs somewhere.
+	adv2, _ := s.Build(g, 42)
+	for v := 0; v < g.N(); v++ {
+		if adv.CrashRound(v) != adv2.CrashRound(v) {
+			t.Fatal("rebuild changed the crash schedule")
+		}
+	}
+}
+
+// TestLossIndependentFatesWithinSlot: the k-th packet of one (round,
+// sender, port) slot has its own fate, decisions agree whether slot
+// queries are contiguous or interleaved (a machine sending for several
+// broadcast executions in one round interleaves ports), and fates within
+// one slot are not perfectly correlated.
+func TestLossIndependentFatesWithinSlot(t *testing.T) {
+	const rounds, packets = 60, 2
+	type slot struct{ round, port, k int }
+	record := func(interleave bool) map[slot]bool {
+		l := NewLoss(0.5, 13)
+		out := map[slot]bool{}
+		for round := 0; round < rounds; round++ {
+			if interleave {
+				for k := 0; k < packets; k++ {
+					for port := 0; port < 2; port++ {
+						d, _ := l.Fate(round, 0, port, 1)
+						out[slot{round, port, k}] = d
+					}
+				}
+			} else {
+				for port := 0; port < 2; port++ {
+					for k := 0; k < packets; k++ {
+						d, _ := l.Fate(round, 0, port, 1)
+						out[slot{round, port, k}] = d
+					}
+				}
+			}
+		}
+		return out
+	}
+	contiguous, interleaved := record(false), record(true)
+	for s, d := range contiguous {
+		if interleaved[s] != d {
+			t.Fatalf("slot %+v fate depends on query interleaving", s)
+		}
+	}
+	diverged := 0
+	for round := 0; round < rounds; round++ {
+		if contiguous[slot{round, 0, 0}] != contiguous[slot{round, 0, 1}] {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("packets of one slot always share a fate (correlated draws)")
+	}
+}

@@ -1,0 +1,150 @@
+package adversary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+	"anonlead/internal/sim"
+)
+
+// Spec is the declarative, serializable description of an adversary: what
+// a sweep cell records in the bench artifact (schema v3) and what the
+// trajectory tooling aligns cells by. The zero value means "no adversary"
+// and builds to nil, so a zero-rate configuration is byte-identical to
+// running without one.
+type Spec struct {
+	// Loss is the per-packet Bernoulli drop probability.
+	Loss float64 `json:"loss,omitempty"`
+
+	// CrashFraction is the expected fraction of nodes that crash-stop;
+	// each crashing node picks a uniform crash round in [0, CrashBy].
+	CrashFraction float64 `json:"crash_fraction,omitempty"`
+	// CrashBy is the last round at which a sampled crash may fire.
+	CrashBy int `json:"crash_by,omitempty"`
+	// CrashSchedule fixes exact (node → round) crashes instead of sampling
+	// (bespoke experiments and tests; not part of the descriptor grid).
+	CrashSchedule map[int]int `json:"crash_schedule,omitempty"`
+
+	// Churn is the per-edge per-round down probability.
+	Churn float64 `json:"churn,omitempty"`
+	// ChurnPreserve keeps a BFS spanning tree up so churn never
+	// disconnects the live graph.
+	ChurnPreserve bool `json:"churn_preserve,omitempty"`
+
+	// DelayProb is the probability a delivered packet is late.
+	DelayProb float64 `json:"delay_prob,omitempty"`
+	// MaxDelay bounds the lateness (uniform 1..MaxDelay extra rounds).
+	MaxDelay int `json:"max_delay,omitempty"`
+}
+
+// IsZero reports whether the spec configures no perturbation at all. Rates
+// of exactly zero disable their primitive, so e.g. Spec{Loss: 0} is zero.
+func (s Spec) IsZero() bool {
+	return s.Loss == 0 && s.CrashFraction == 0 && len(s.CrashSchedule) == 0 &&
+		s.Churn == 0 && (s.DelayProb == 0 || s.MaxDelay == 0)
+}
+
+// Validate rejects out-of-range parameters.
+func (s Spec) Validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("adversary: %s probability %v outside [0,1]", name, p)
+		}
+		return nil
+	}
+	if err := check("loss", s.Loss); err != nil {
+		return err
+	}
+	if err := check("crash", s.CrashFraction); err != nil {
+		return err
+	}
+	if err := check("churn", s.Churn); err != nil {
+		return err
+	}
+	if err := check("delay", s.DelayProb); err != nil {
+		return err
+	}
+	if s.CrashBy < 0 {
+		return fmt.Errorf("adversary: negative crash-by round %d", s.CrashBy)
+	}
+	if s.MaxDelay < 0 {
+		return fmt.Errorf("adversary: negative max delay %d", s.MaxDelay)
+	}
+	for v, r := range s.CrashSchedule {
+		if v < 0 || r < 0 {
+			return fmt.Errorf("adversary: invalid crash schedule entry node %d round %d", v, r)
+		}
+	}
+	return nil
+}
+
+// fnum renders a probability compactly and canonically (no trailing
+// zeros), so descriptors are stable cell-key material.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Descriptor canonically names the configuration, e.g.
+// "loss=0.1,crash=0.25@16,churn=0.05+conn,delay=0.5x3". It is the
+// adversary component of a sweep cell's identity: artifact cells persist
+// it and trajectory alignment keys on it. A zero spec yields "".
+func (s Spec) Descriptor() string {
+	var parts []string
+	if s.Loss > 0 {
+		parts = append(parts, "loss="+fnum(s.Loss))
+	}
+	if s.CrashFraction > 0 {
+		parts = append(parts, fmt.Sprintf("crash=%s@%d", fnum(s.CrashFraction), s.CrashBy))
+	}
+	if len(s.CrashSchedule) > 0 {
+		parts = append(parts, fmt.Sprintf("crashsched=%d", len(s.CrashSchedule)))
+	}
+	if s.Churn > 0 {
+		c := "churn=" + fnum(s.Churn)
+		if s.ChurnPreserve {
+			c += "+conn"
+		}
+		parts = append(parts, c)
+	}
+	if s.DelayProb > 0 && s.MaxDelay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%sx%d", fnum(s.DelayProb), s.MaxDelay))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Build constructs the composed runtime adversary for one trial on g,
+// deriving every primitive's stream from seed by labeled splitting (so the
+// primitives never correlate). A zero spec returns (nil, nil): no
+// adversary, and therefore a run byte-identical to an unperturbed one.
+func (s Spec) Build(g *graph.Graph, seed uint64) (sim.Adversary, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.IsZero() {
+		return nil, nil
+	}
+	root := rng.New(seed)
+	sub := func(label string) uint64 { return root.SplitString(label).DeriveSeed(0) }
+	n := 0
+	if g != nil {
+		n = g.N()
+	}
+	var parts []sim.Adversary
+	if s.Loss > 0 {
+		parts = append(parts, NewLoss(s.Loss, sub("loss")))
+	}
+	if s.CrashFraction > 0 {
+		parts = append(parts, NewRandomCrash(n, s.CrashFraction, s.CrashBy, sub("crash")))
+	}
+	if len(s.CrashSchedule) > 0 {
+		parts = append(parts, NewCrashSchedule(n, s.CrashSchedule))
+	}
+	if s.Churn > 0 {
+		parts = append(parts, NewChurn(g, s.Churn, s.ChurnPreserve, sub("churn")))
+	}
+	if s.DelayProb > 0 && s.MaxDelay > 0 {
+		parts = append(parts, NewDelay(s.DelayProb, s.MaxDelay, sub("delay")))
+	}
+	return Compose(parts...), nil
+}

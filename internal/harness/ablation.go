@@ -123,7 +123,7 @@ func AblationWalks(w Workload, factors []float64, trials int, seed uint64) ([]Wa
 		}
 		pt := WalkPoint{Factor: f, Trials: trials}
 		for t := 0; t < trials; t++ {
-			trial, err := RunIRETrial(g, cfg, seed^uint64(math.Float64bits(f))^uint64(t)<<16, false)
+			trial, err := RunIRETrial(g, cfg, seed^uint64(math.Float64bits(f))^uint64(t)<<16, SimOpts{})
 			if err != nil {
 				return points, prof, err
 			}

@@ -12,11 +12,19 @@ import (
 // ArtifactSchema identifies the BENCH_harness.json format version. Bump it
 // when the cell layout changes so trajectory tooling can tell formats apart.
 //
-// v2 keeps every v1 field (per-cell means, counts, graph profile,
-// predictions) and adds per-metric distributions plus a Wilson interval on
-// the success rate, so cross-PR diffing can use variance-aware thresholds
-// instead of bare point estimates.
-const ArtifactSchema = "anonlead/bench-harness/v2"
+// v3 keeps every v2 field and adds the adversary descriptor to each cell
+// (plus the mean dropped-packet and crashed-node counts), so fault-injected
+// resilience cells carry their perturbation in their identity: trajectory
+// alignment keys on it and benchdiff gates degradation curves like any
+// other metric. Fault-free cells omit the new fields, so a v3 artifact of
+// an unperturbed sweep differs from its v2 ancestor only in the schema
+// string.
+const ArtifactSchema = "anonlead/bench-harness/v3"
+
+// ArtifactSchemaV2 is the previous format: v1 plus per-metric
+// distributions and the Wilson success interval, without adversary cell
+// identity. Still readable; its cells align as fault-free.
+const ArtifactSchemaV2 = "anonlead/bench-harness/v2"
 
 // ArtifactSchemaV1 is the legacy means-only format. benchdiff still reads
 // it, downgrading to a means-only comparison.
@@ -72,6 +80,10 @@ type ArtifactCell struct {
 	MixingTime  int     `json:"tmix"`
 	Conductance float64 `json:"phi"`
 	PresumedN   int     `json:"presumed_n,omitempty"`
+	// Adversary is the canonical fault-injection descriptor of the cell
+	// (adversary.Spec.Descriptor; "" = fault-free). Part of the cell's
+	// identity for trajectory alignment. Schema v3.
+	Adversary string `json:"adversary,omitempty"`
 
 	Trials       int     `json:"trials"`
 	Successes    int     `json:"successes"`
@@ -81,6 +93,10 @@ type ArtifactCell struct {
 	Bits         float64 `json:"bits"`
 	Rounds       float64 `json:"rounds"`
 	Charged      float64 `json:"charged"`
+	// Mean adversary-dropped packets and crash-stopped nodes per trial
+	// (schema v3; absent on fault-free cells).
+	Dropped      float64 `json:"dropped,omitempty"`
+	CrashedNodes float64 `json:"crashed_nodes,omitempty"`
 
 	// Success rate with its ~95% Wilson-score interval (v2).
 	SuccessRate float64 `json:"success_rate"`
@@ -147,6 +163,8 @@ func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Du
 			Bits:         c.Bits,
 			Rounds:       c.Rounds,
 			Charged:      c.Charged,
+			Dropped:      c.Dropped,
+			CrashedNodes: c.CrashedNodes,
 			SuccessRate:  c.SuccessRate(),
 			MessagesDist: newArtifactDist(c.MessagesDist),
 			BitsDist:     newArtifactDist(c.BitsDist),
@@ -164,6 +182,9 @@ func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Du
 		}
 		if i < len(specs) {
 			ac.PresumedN = specs[i].Opts.PresumedN
+			if adv := specs[i].Opts.Adversary; adv != nil {
+				ac.Adversary = adv.Descriptor() // "" for a zero-rate spec
+			}
 		}
 		totalTrials += c.Trials
 		a.Cells = append(a.Cells, ac)
@@ -204,21 +225,21 @@ func (a Artifact) WriteFile(path string) error {
 	return nil
 }
 
-// ReadArtifact decodes a bench artifact, accepting both the current v2
-// schema and the legacy v1 (whose cells simply lack the distribution
-// fields). Unknown schemas are rejected so trajectory tooling fails loudly
-// on foreign files rather than comparing garbage.
+// ReadArtifact decodes a bench artifact, accepting the current v3 schema
+// plus the legacy v2 (no adversary cell identity) and v1 (means only).
+// Unknown schemas are rejected so trajectory tooling fails loudly on
+// foreign files rather than comparing garbage.
 func ReadArtifact(buf []byte) (Artifact, error) {
 	var a Artifact
 	if err := json.Unmarshal(buf, &a); err != nil {
 		return Artifact{}, fmt.Errorf("harness: decode artifact: %w", err)
 	}
 	switch a.Schema {
-	case ArtifactSchema, ArtifactSchemaV1:
+	case ArtifactSchema, ArtifactSchemaV2, ArtifactSchemaV1:
 		return a, nil
 	default:
-		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s or %s)",
-			a.Schema, ArtifactSchema, ArtifactSchemaV1)
+		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s, %s, or %s)",
+			a.Schema, ArtifactSchema, ArtifactSchemaV2, ArtifactSchemaV1)
 	}
 }
 

@@ -159,7 +159,7 @@ func SplitBrainExperiment(presumedN int, witnessCounts []int, trials int, seed u
 	}
 	cfg := core.IREConfig{N: presumedN, TMix: prof.MixingTime, Phi: prof.Conductance}
 	// Recover T(n): the protocol's fixed running time for the presumed n.
-	probe, err := RunIRETrial(small, cfg, seed, false)
+	probe, err := RunIRETrial(small, cfg, seed, SimOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +176,7 @@ func SplitBrainExperiment(presumedN int, witnessCounts []int, trials int, seed u
 		sumLeaders := 0
 		for tr := 0; tr < trials; tr++ {
 			trialSeed := seed ^ uint64(wc)<<40 ^ uint64(tr)<<8 ^ 0x5bd1
-			leaders, _, err := IRELeaderNodes(wheel, cfg, trialSeed, true)
+			leaders, _, err := IRELeaderNodes(wheel, cfg, trialSeed, SimOpts{Parallel: true})
 			if err != nil {
 				return points, err
 			}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+
+	"anonlead/internal/adversary"
+)
+
+// FaultSweep is one resilience degradation curve: a protocol on a fixed
+// workload, swept over a family of adversary configurations of increasing
+// severity. The first spec is conventionally the fault-free anchor (a zero
+// Spec), so the rendered curve and the artifact both carry the unperturbed
+// reference point.
+type FaultSweep struct {
+	Title    string
+	Protocol Protocol
+	Workload Workload
+	Specs    []adversary.Spec
+}
+
+// CellSpecs expands the sweep into orchestrator cell specs, one per
+// adversary configuration.
+func (f FaultSweep) CellSpecs(trials int, seed uint64) []CellSpec {
+	specs := make([]CellSpec, len(f.Specs))
+	for i := range f.Specs {
+		a := f.Specs[i]
+		specs[i] = CellSpec{
+			Protocol: f.Protocol,
+			Workload: f.Workload,
+			Opts:     TrialOpts{Trials: trials, Seed: seed, Adversary: &a},
+		}
+	}
+	return specs
+}
+
+// lossLadder builds a loss sweep starting at the fault-free anchor.
+func lossLadder(rates ...float64) []adversary.Spec {
+	specs := []adversary.Spec{{}}
+	for _, r := range rates {
+		specs = append(specs, adversary.Spec{Loss: r})
+	}
+	return specs
+}
+
+// FaultSweeps returns the resilience experiment matrix: fault rate ×
+// protocol × graph family for the adversary kinds internal/adversary
+// provides. The quick matrix is what CI's bench artifact records (its
+// cells sit in testdata/BENCH_baseline.json, so changing it requires
+// `make baseline`); the full matrix adds larger graphs and more severity
+// steps.
+func FaultSweeps(quick bool) []FaultSweep {
+	expander, cycle := 64, 32
+	losses := []float64{0.05, 0.1, 0.2}
+	crashes := []float64{0.1, 0.25, 0.5}
+	churns := []float64{0.1, 0.3}
+	if !quick {
+		expander, cycle = 128, 64
+		losses = append(losses, 0.3)
+		churns = append(churns, 0.5)
+	}
+
+	crashLadder := []adversary.Spec{{}}
+	for _, f := range crashes {
+		crashLadder = append(crashLadder, adversary.Spec{CrashFraction: f, CrashBy: 16})
+	}
+	churnLadder := []adversary.Spec{{}}
+	for _, c := range churns {
+		churnLadder = append(churnLadder,
+			adversary.Spec{Churn: c, ChurnPreserve: true},
+			adversary.Spec{Churn: c})
+	}
+	delayLadder := []adversary.Spec{
+		{},
+		{DelayProb: 0.25, MaxDelay: 2},
+		{DelayProb: 0.5, MaxDelay: 2},
+		{DelayProb: 0.5, MaxDelay: 4},
+	}
+
+	return []FaultSweep{
+		{"F1-a message loss vs IRE on expanders", ProtoIRE,
+			Workload{Family: "expander", N: expander}, lossLadder(losses...)},
+		{"F1-b message loss vs IRE on cycles", ProtoIRE,
+			Workload{Family: "cycle", N: cycle}, lossLadder(losses...)},
+		{"F1-c message loss vs FloodMax on expanders", ProtoFlood,
+			Workload{Family: "expander", N: expander}, lossLadder(losses...)},
+		{"F1-d message loss vs Gilbert-class on expanders", ProtoWalkNotify,
+			Workload{Family: "expander", N: expander}, lossLadder(losses...)},
+		{"F2 crash-stop vs IRE on expanders", ProtoIRE,
+			Workload{Family: "expander", N: expander}, crashLadder},
+		{"F3 link churn vs IRE on expanders", ProtoIRE,
+			Workload{Family: "expander", N: expander}, churnLadder},
+		{"F4 delivery jitter vs FloodMax on expanders", ProtoFlood,
+			Workload{Family: "expander", N: expander}, delayLadder},
+	}
+}
+
+// RenderFaults renders one degradation curve: absolute metrics plus the
+// cost ratios against the sweep's fault-free anchor cell.
+func RenderFaults(f FaultSweep, cells []Cell) string {
+	t := Table{
+		Title: f.Title,
+		Header: []string{
+			"adversary", "success", "leaders>1", "leaders=0",
+			"msgs", "xmsgs", "rounds", "xrounds", "dropped", "crashed",
+		},
+	}
+	var anchor *Cell
+	if len(cells) > 0 && f.Specs[0].IsZero() {
+		anchor = &cells[0]
+	}
+	ratio := func(v, base float64) string {
+		if anchor == nil || base == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v/base)
+	}
+	for i, c := range cells {
+		desc := f.Specs[i].Descriptor()
+		if desc == "" {
+			desc = "none"
+		}
+		var xm, xr string
+		if anchor != nil {
+			xm, xr = ratio(c.Messages, anchor.Messages), ratio(c.Rounds, anchor.Rounds)
+		} else {
+			xm, xr = "-", "-"
+		}
+		t.AddRow(
+			desc,
+			fmt.Sprintf("%d/%d", c.Successes, c.Trials),
+			I(c.MultiLeaders), I(c.ZeroLeaders),
+			F(c.Messages), xm, F(c.Rounds), xr,
+			F(c.Dropped), F(c.CrashedNodes),
+		)
+	}
+	return t.String()
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"anonlead/internal/adversary"
 	"anonlead/internal/baseline"
 	"anonlead/internal/core"
 	"anonlead/internal/graph"
@@ -48,12 +49,34 @@ func (w Workload) BuildGraph(seed uint64) (*graph.Graph, error) {
 	return graph.ByName(w.Family, w.N, r)
 }
 
-// Trial is the outcome of one protocol execution.
+// Trial is the outcome of one protocol execution. Under fault injection,
+// Leaders (and the all-know clause of explicit election) are evaluated
+// over surviving nodes only: a crash-stopped node cannot claim or learn a
+// leadership it will never act on.
 type Trial struct {
 	Leaders int
-	Success bool // exactly one leader
+	Success bool // exactly one (surviving) leader
 	Rounds  int
+	Crashed int // nodes crash-stopped by the adversary
 	Metrics sim.Metrics
+}
+
+// SimOpts carries the execution knobs every trial runner threads into
+// sim.Config: scheduler selection and the optional fault adversary.
+type SimOpts struct {
+	// Parallel selects the WorkerPool scheduler (kept for compatibility;
+	// an explicit Scheduler wins).
+	Parallel bool
+	// Scheduler explicitly selects the execution engine.
+	Scheduler sim.Scheduler
+	// Adversary, when non-nil, perturbs delivery (see internal/adversary).
+	Adversary sim.Adversary
+}
+
+// config assembles the sim configuration of one trial.
+func (o SimOpts) config(g *graph.Graph, seed uint64) sim.Config {
+	return sim.Config{Graph: g, Seed: seed, Parallel: o.Parallel,
+		Scheduler: o.Scheduler, Adversary: o.Adversary}
 }
 
 // TrialOpts configures a batch of trials.
@@ -61,6 +84,15 @@ type TrialOpts struct {
 	Trials   int
 	Seed     uint64
 	Parallel bool
+	// Scheduler explicitly selects the simulator engine for every trial
+	// (zero = Sequential unless Parallel is set). All engines are
+	// bit-identical; the knob exists so determinism tests can sweep them.
+	Scheduler sim.Scheduler
+	// Adversary, when non-nil and non-zero, fault-injects every trial of
+	// the batch. The adversary's streams are split from the trial seed
+	// under a dedicated label, so machine randomness is untouched and a
+	// zero-rate spec is byte-identical to no adversary at all.
+	Adversary *adversary.Spec
 	// PresumedN, when positive, misreports the network size to the
 	// protocol (the knowledge ablation after Dieudonné–Pelc: how does
 	// election degrade when nodes' knowledge of n is wrong?). The graph
@@ -102,6 +134,10 @@ type Cell struct {
 	// MultiLeaders counts trials with more than one leader (vs zero).
 	MultiLeaders int
 	ZeroLeaders  int
+	// Fault-injection aggregates (all zero on fault-free cells): mean
+	// adversary-dropped packets and mean crash-stopped nodes per trial.
+	Dropped      float64
+	CrashedNodes float64
 }
 
 // SuccessRate returns the fraction of trials electing exactly one leader.
@@ -119,6 +155,14 @@ func (c Cell) SuccessRate() float64 {
 // which is what makes parallel sweep output bit-identical to sequential.
 func TrialSeed(root uint64, w Workload, t int) uint64 {
 	return rng.New(root).SplitString("trial:" + w.Family).Split(uint64(w.N)).DeriveSeed(uint64(t))
+}
+
+// AdversarySeed derives a trial's fault-injection stream from its trial
+// seed. The labeled split keeps the adversary's randomness disjoint from
+// the machines' (which split from the raw trial seed), so enabling a
+// zero-rate adversary perturbs nothing.
+func AdversarySeed(trialSeed uint64) uint64 {
+	return rng.New(trialSeed).SplitString("adversary").DeriveSeed(0)
 }
 
 // prepareCell deterministically builds and profiles a workload graph.
@@ -154,10 +198,16 @@ func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) 
 		if trial.Leaders == 0 {
 			cell.ZeroLeaders++
 		}
+		cell.Dropped += float64(trial.Metrics.Dropped)
+		cell.CrashedNodes += float64(trial.Crashed)
 		msgs = append(msgs, float64(trial.Metrics.Messages))
 		bits = append(bits, float64(trial.Metrics.Bits))
 		rounds = append(rounds, float64(trial.Rounds))
 		charged = append(charged, float64(trial.Metrics.ChargedRounds))
+	}
+	if cell.Trials > 0 {
+		cell.Dropped /= float64(cell.Trials)
+		cell.CrashedNodes /= float64(cell.Trials)
 	}
 	cell.MessagesDist = stats.DistOf(msgs)
 	cell.BitsDist = stats.DistOf(bits)
@@ -206,6 +256,14 @@ func runOne(p Protocol, g *graph.Graph, prof *spectral.Profile, opts TrialOpts, 
 	if opts.PresumedN > 0 {
 		presumedN = opts.PresumedN
 	}
+	simo := SimOpts{Parallel: opts.Parallel, Scheduler: opts.Scheduler}
+	if opts.Adversary != nil {
+		adv, err := opts.Adversary.Build(g, AdversarySeed(seed))
+		if err != nil {
+			return Trial{}, fmt.Errorf("harness: build adversary: %w", err)
+		}
+		simo.Adversary = adv // nil for a zero-rate spec: no perturbation
+	}
 	switch p {
 	case ProtoIRE, ProtoExplicit:
 		cfg := opts.IRE
@@ -217,63 +275,76 @@ func runOne(p Protocol, g *graph.Graph, prof *spectral.Profile, opts TrialOpts, 
 			cfg.Phi = prof.Conductance
 		}
 		if p == ProtoExplicit {
-			return RunExplicitTrial(g, core.ExplicitConfig{IRE: cfg}, seed, opts.Parallel)
+			return RunExplicitTrial(g, core.ExplicitConfig{IRE: cfg}, seed, simo)
 		}
-		return RunIRETrial(g, cfg, seed, opts.Parallel)
+		return RunIRETrial(g, cfg, seed, simo)
 	case ProtoFlood, ProtoAllFlood:
 		cfg := baseline.FloodConfig{N: presumedN, Diam: prof.Diameter, AllNodes: p == ProtoAllFlood}
-		return RunFloodTrial(g, cfg, seed, opts.Parallel)
+		return RunFloodTrial(g, cfg, seed, simo)
 	case ProtoWalkNotify:
 		cfg := baseline.WalkNotifyConfig{N: presumedN, TMix: prof.MixingTime}
-		return RunWalkNotifyTrial(g, cfg, seed, opts.Parallel)
+		return RunWalkNotifyTrial(g, cfg, seed, simo)
 	case ProtoRevocable:
 		cfg := opts.Revocable
 		if opts.RevocableUseProfileIso && cfg.Isoperimetric == 0 {
 			cfg.Isoperimetric = prof.Isoperim
 		}
-		return RunRevocableTrial(g, cfg, seed, opts.RevocableMaxRounds, opts.Parallel)
+		return RunRevocableTrial(g, cfg, seed, opts.RevocableMaxRounds, simo)
 	default:
 		return Trial{}, fmt.Errorf("harness: unknown protocol %q", p)
 	}
 }
 
 // RunIRETrial executes one Irrevocable LE election.
-func RunIRETrial(g *graph.Graph, cfg core.IREConfig, seed uint64, parallel bool) (Trial, error) {
+func RunIRETrial(g *graph.Graph, cfg core.IREConfig, seed uint64, o SimOpts) (Trial, error) {
 	factory, err := core.NewIREFactory(cfg)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	nw := sim.New(o.config(g, seed), factory)
+	defer nw.Close()
 	_, _, _, _, total := nw.Machine(0).(*core.IREMachine).Params()
-	rounds := nw.Run(total + 4)
+	// Jitter can park a packet up to MaxDelay rounds past the schedule.
+	rounds := nw.Run(total + 4 + maxDelay(o))
 	if !nw.AllHalted() {
-		return Trial{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4)
+		return Trial{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4+maxDelay(o))
 	}
 	leaders := 0
 	for v := 0; v < g.N(); v++ {
-		if nw.Machine(v).(*core.IREMachine).Output().Leader {
+		if !nw.Crashed(v) && nw.Machine(v).(*core.IREMachine).Output().Leader {
 			leaders++
 		}
 	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
+		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
+}
+
+// maxDelay returns the adversary's delivery-jitter bound (0 without one),
+// used to stretch round budgets so late packets can drain.
+func maxDelay(o SimOpts) int {
+	if o.Adversary == nil {
+		return 0
+	}
+	return o.Adversary.MaxDelay()
 }
 
 // IRELeaderNodes runs one IRE election and returns the elected node
 // indices (used by the pumping-wheel experiment).
-func IRELeaderNodes(g *graph.Graph, cfg core.IREConfig, seed uint64, parallel bool) ([]int, sim.Metrics, error) {
+func IRELeaderNodes(g *graph.Graph, cfg core.IREConfig, seed uint64, o SimOpts) ([]int, sim.Metrics, error) {
 	factory, err := core.NewIREFactory(cfg)
 	if err != nil {
 		return nil, sim.Metrics{}, err
 	}
-	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	nw := sim.New(o.config(g, seed), factory)
+	defer nw.Close()
 	_, _, _, _, total := nw.Machine(0).(*core.IREMachine).Params()
-	nw.Run(total + 4)
+	nw.Run(total + 4 + maxDelay(o))
 	if !nw.AllHalted() {
-		return nil, sim.Metrics{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4)
+		return nil, sim.Metrics{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4+maxDelay(o))
 	}
 	var leaders []int
 	for v := 0; v < g.N(); v++ {
-		if nw.Machine(v).(*core.IREMachine).Output().Leader {
+		if !nw.Crashed(v) && nw.Machine(v).(*core.IREMachine).Output().Leader {
 			leaders = append(leaders, v)
 		}
 	}
@@ -283,19 +354,23 @@ func IRELeaderNodes(g *graph.Graph, cfg core.IREConfig, seed uint64, parallel bo
 // RunExplicitTrial executes one explicit election (implicit protocol plus
 // announcement flood). Success additionally requires every node to have
 // learned the leader.
-func RunExplicitTrial(g *graph.Graph, cfg core.ExplicitConfig, seed uint64, parallel bool) (Trial, error) {
+func RunExplicitTrial(g *graph.Graph, cfg core.ExplicitConfig, seed uint64, o SimOpts) (Trial, error) {
 	factory, err := core.NewExplicitFactory(cfg)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	nw := sim.New(o.config(g, seed), factory)
+	defer nw.Close()
 	total := nw.Machine(0).(*core.ExplicitMachine).TotalRounds()
-	rounds := nw.Run(total + 4)
+	rounds := nw.Run(total + 4 + maxDelay(o))
 	if !nw.AllHalted() {
-		return Trial{}, fmt.Errorf("harness: explicit protocol did not halt in %d rounds", total+4)
+		return Trial{}, fmt.Errorf("harness: explicit protocol did not halt in %d rounds", total+4+maxDelay(o))
 	}
 	leaders, allKnow := 0, true
 	for v := 0; v < g.N(); v++ {
+		if nw.Crashed(v) {
+			continue // only survivors can claim or learn leadership
+		}
 		out := nw.Machine(v).(*core.ExplicitMachine).Output()
 		if out.IRE.Leader {
 			leaders++
@@ -308,54 +383,59 @@ func RunExplicitTrial(g *graph.Graph, cfg core.ExplicitConfig, seed uint64, para
 		Leaders: leaders,
 		Success: leaders == 1 && allKnow,
 		Rounds:  rounds,
+		Crashed: nw.CrashedCount(),
 		Metrics: nw.Metrics(),
 	}, nil
 }
 
 // RunFloodTrial executes one FloodMax election.
-func RunFloodTrial(g *graph.Graph, cfg baseline.FloodConfig, seed uint64, parallel bool) (Trial, error) {
+func RunFloodTrial(g *graph.Graph, cfg baseline.FloodConfig, seed uint64, o SimOpts) (Trial, error) {
 	factory, err := baseline.NewFloodFactory(cfg)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
-	rounds := nw.Run(cfg.Rounds() + 2)
+	nw := sim.New(o.config(g, seed), factory)
+	defer nw.Close()
+	rounds := nw.Run(cfg.Rounds() + 2 + maxDelay(o))
 	if !nw.AllHalted() {
 		return Trial{}, fmt.Errorf("harness: flood did not halt")
 	}
 	leaders := 0
 	for v := 0; v < g.N(); v++ {
-		if nw.Machine(v).(*baseline.FloodMachine).Output().Leader {
+		if !nw.Crashed(v) && nw.Machine(v).(*baseline.FloodMachine).Output().Leader {
 			leaders++
 		}
 	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
+		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
 }
 
 // RunWalkNotifyTrial executes one Gilbert-class baseline election.
-func RunWalkNotifyTrial(g *graph.Graph, cfg baseline.WalkNotifyConfig, seed uint64, parallel bool) (Trial, error) {
+func RunWalkNotifyTrial(g *graph.Graph, cfg baseline.WalkNotifyConfig, seed uint64, o SimOpts) (Trial, error) {
 	factory, err := baseline.NewWalkNotifyFactory(cfg)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
-	rounds := nw.Run(cfg.Rounds() + 2)
+	nw := sim.New(o.config(g, seed), factory)
+	defer nw.Close()
+	rounds := nw.Run(cfg.Rounds() + 2 + maxDelay(o))
 	if !nw.AllHalted() {
 		return Trial{}, fmt.Errorf("harness: walknotify did not halt")
 	}
 	leaders := 0
 	for v := 0; v < g.N(); v++ {
-		if nw.Machine(v).(*baseline.WalkNotifyMachine).Output().Leader {
+		if !nw.Crashed(v) && nw.Machine(v).(*baseline.WalkNotifyMachine).Output().Leader {
 			leaders++
 		}
 	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
+		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
 }
 
 // RunRevocableTrial executes one revocable election until the theory's
 // stability point (all nodes chose, certificates agree, k^{1+ε} > 4n) or
 // maxRounds.
-func RunRevocableTrial(g *graph.Graph, cfg core.RevocableConfig, seed uint64, maxRounds int, parallel bool) (Trial, error) {
+func RunRevocableTrial(g *graph.Graph, cfg core.RevocableConfig, seed uint64, maxRounds int, o SimOpts) (Trial, error) {
 	factory, err := core.NewRevocableFactory(cfg)
 	if err != nil {
 		return Trial{}, err
@@ -366,17 +446,41 @@ func RunRevocableTrial(g *graph.Graph, cfg core.RevocableConfig, seed uint64, ma
 	}
 	if maxRounds <= 0 {
 		maxRounds = 200_000_000
+		if o.Adversary != nil {
+			// Faults can make convergence unreachable (e.g. the would-be
+			// leader crash-stops); the fault-free budget would be an
+			// effective hang, so adversarial runs get a bounded one.
+			maxRounds = 1_000_000
+		}
 	}
-	nw := sim.New(sim.Config{Graph: g, Seed: seed, Parallel: parallel}, factory)
+	nw := sim.New(o.config(g, seed), factory)
+	defer nw.Close()
+	// Convergence is evaluated over surviving nodes: a crashed node can
+	// never choose, so including it would run every faulted trial to
+	// maxRounds. The reference (first) output comes from the lowest-index
+	// survivor.
 	converged := func() bool {
-		first := nw.Machine(0).(*core.RevocableMachine).Output()
+		ref := -1
+		for v := 0; v < g.N(); v++ {
+			if !nw.Crashed(v) {
+				ref = v
+				break
+			}
+		}
+		if ref < 0 {
+			return false // everyone crashed; the run can only time out
+		}
+		first := nw.Machine(ref).(*core.RevocableMachine).Output()
 		if !first.Chosen || first.LeaderK == 0 {
 			return false
 		}
 		if math.Pow(float64(first.EstimateK), 1+eps) <= 4*float64(g.N()) {
 			return false
 		}
-		for v := 1; v < g.N(); v++ {
+		for v := ref + 1; v < g.N(); v++ {
+			if nw.Crashed(v) {
+				continue
+			}
 			o := nw.Machine(v).(*core.RevocableMachine).Output()
 			if !o.Chosen || o.LeaderK != first.LeaderK || o.LeaderID != first.LeaderID {
 				return false
@@ -388,13 +492,22 @@ func RunRevocableTrial(g *graph.Graph, cfg core.RevocableConfig, seed uint64, ma
 		return completed%64 == 0 && converged()
 	})
 	if !converged() {
+		if o.Adversary != nil {
+			// Under fault injection a non-converging election is a
+			// measured outcome — it degrades the success rate like any
+			// other fault damage — not a harness error that should abort
+			// the sweep.
+			return Trial{Leaders: 0, Success: false, Rounds: rounds,
+				Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
+		}
 		return Trial{}, fmt.Errorf("harness: revocable did not converge in %d rounds", rounds)
 	}
 	leaders := 0
 	for v := 0; v < g.N(); v++ {
-		if nw.Machine(v).(*core.RevocableMachine).Output().Leader {
+		if !nw.Crashed(v) && nw.Machine(v).(*core.RevocableMachine).Output().Leader {
 			leaders++
 		}
 	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds, Metrics: nw.Metrics()}, nil
+	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
+		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
 }

@@ -9,18 +9,29 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"anonlead/internal/adversary"
+	"anonlead/internal/sim"
 )
 
 // determinismSpecs is a small cross-protocol, cross-family sweep matrix
-// used by the bit-identity tests.
+// used by the bit-identity tests, including fault-injected cells: the
+// adversary layer must be exactly as scheduler-independent as the
+// protocols underneath it.
 func determinismSpecs(seed uint64) []CellSpec {
 	opts := TrialOpts{Trials: 4, Seed: seed}
+	faulty := TrialOpts{Trials: 4, Seed: seed, Adversary: &adversary.Spec{
+		Loss: 0.1, CrashFraction: 0.2, CrashBy: 8, DelayProb: 0.3, MaxDelay: 2}}
+	churny := TrialOpts{Trials: 4, Seed: seed, Adversary: &adversary.Spec{
+		Churn: 0.3, ChurnPreserve: true}}
 	return []CellSpec{
 		{Protocol: ProtoIRE, Workload: Workload{Family: "expander", N: 32}, Opts: opts},
 		{Protocol: ProtoIRE, Workload: Workload{Family: "cycle", N: 16}, Opts: opts},
 		{Protocol: ProtoIRE, Workload: Workload{Family: "diam2", N: 17}, Opts: opts},
 		{Protocol: ProtoFlood, Workload: Workload{Family: "complete", N: 16}, Opts: opts},
 		{Protocol: ProtoWalkNotify, Workload: Workload{Family: "torus", N: 16}, Opts: opts},
+		{Protocol: ProtoIRE, Workload: Workload{Family: "expander", N: 32}, Opts: faulty},
+		{Protocol: ProtoFlood, Workload: Workload{Family: "complete", N: 16}, Opts: churny},
 	}
 }
 
@@ -64,6 +75,55 @@ func TestParallelHarnessDeterminism(t *testing.T) {
 		if !bytes.Equal(seqJSON, parJSON) {
 			t.Fatalf("JSON artifacts differ:\n%s\nvs\n%s", seqJSON, parJSON)
 		}
+	}
+
+	// The same sweep — fault-injected cells included — must be
+	// bit-identical under every simulator scheduler, not just every
+	// orchestrator shape.
+	for _, s := range []sim.Scheduler{sim.WorkerPool, sim.Actors} {
+		scheduled := determinismSpecs(17)
+		for i := range scheduled {
+			scheduled[i].Opts.Scheduler = s
+		}
+		got, err := RunSweepSequential(scheduled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Fatalf("scheduler %v: cells differ from sequential reference", s)
+		}
+	}
+}
+
+// TestZeroRateAdversaryArtifactByteIdentical is the adversary subsystem's
+// regression contract: configuring a zero-rate adversary on every cell of
+// a sweep must produce a JSON artifact byte-identical to the unperturbed
+// sweep — same trials, same metrics, same (absent) adversary descriptors.
+func TestZeroRateAdversaryArtifactByteIdentical(t *testing.T) {
+	plain := determinismSpecs(23)[:5] // the fault-free cells
+	zeroed := determinismSpecs(23)[:5]
+	for i := range zeroed {
+		zeroed[i].Opts.Adversary = &adversary.Spec{}
+	}
+	o := Orchestrator{Workers: 4, Shards: 2}
+	baseCells, err := o.RunSweep(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroCells, err := o.RunSweep(zeroed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, err := NewArtifact(o, plain, baseCells, 0).StripTimings().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroJSON, err := NewArtifact(o, zeroed, zeroCells, 0).StripTimings().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseJSON, zeroJSON) {
+		t.Fatalf("zero-rate adversary changed the artifact:\n%s\nvs\n%s", baseJSON, zeroJSON)
 	}
 }
 
@@ -162,6 +222,9 @@ func TestArtifactGolden(t *testing.T) {
 		{Protocol: ProtoFlood, Workload: Workload{Family: "diam2", N: 17}, Opts: opts},
 		{Protocol: ProtoIRE, Workload: Workload{Family: "cycle", N: 12},
 			Opts: TrialOpts{Trials: 2, Seed: 5, PresumedN: 6}},
+		{Protocol: ProtoFlood, Workload: Workload{Family: "complete", N: 16},
+			Opts: TrialOpts{Trials: 2, Seed: 5,
+				Adversary: &adversary.Spec{Loss: 0.2, CrashFraction: 0.25, CrashBy: 4}}},
 	}
 	o := Orchestrator{Workers: 2, Shards: 2}
 	cells, err := o.RunSweep(specs)

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"anonlead/internal/graph"
 	"anonlead/internal/rng"
+	"anonlead/internal/trace"
 )
 
 // runGossipScheduler mirrors runGossip with an explicit scheduler choice.
@@ -89,6 +92,114 @@ func TestParallelAliasSelectsWorkerPool(t *testing.T) {
 	defer nw2.Close()
 	if nw2.scheduler != Actors {
 		t.Fatalf("scheduler %v want Actors", nw2.scheduler)
+	}
+}
+
+// waitGoroutinesBelow polls until the process goroutine count drops to at
+// most limit (goroutine exit is asynchronous after wg.Wait in the spawner's
+// frame has returned).
+func waitGoroutinesBelow(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still alive, want <= %d", runtime.NumGoroutine(), limit)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestActorsCloseReleasesGoroutinesMidRun: Close on a network that has NOT
+// globally halted must release every per-node goroutine, and the closed
+// network must remain restartable (a further Step respawns the pool).
+func TestActorsCloseReleasesGoroutinesMidRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := graph.Complete(16)
+	nw := New(Config{Graph: g, Seed: 2, Scheduler: Actors},
+		func(node, degree int, r *rng.RNG) Machine {
+			return &recorder{stopRound: 1 << 30, sendBits: 4} // never halts
+		})
+	nw.Run(5)
+	if nw.AllHalted() {
+		t.Fatal("test wants a non-halted network")
+	}
+	nw.Close()
+	waitGoroutinesBelow(t, base+2)
+	// The network is still steppable: the pool respawns on demand and the
+	// run continues deterministically.
+	if !nw.Step() {
+		t.Fatal("closed-but-live network refused to step")
+	}
+	nw.Close()
+	waitGoroutinesBelow(t, base+2)
+}
+
+// TestActorsHaltedNodeParking: nodes that halt mid-run stop stepping while
+// the rest of the network keeps executing on the persistent goroutines,
+// and the mixed run matches the sequential scheduler exactly.
+func TestActorsHaltedNodeParking(t *testing.T) {
+	g := graph.Torus(4, 5)
+	factory := func(node, degree int, r *rng.RNG) Machine {
+		stop := 1 << 30
+		if node%2 == 0 {
+			stop = 3 // half the nodes halt early
+		}
+		return &recorder{stopRound: stop, sendBits: 4}
+	}
+	nw := New(Config{Graph: g, Seed: 6, Scheduler: Actors}, factory)
+	defer nw.Close()
+	nw.Run(12)
+	ref := New(Config{Graph: g, Seed: 6}, factory)
+	ref.Run(12)
+	for v := 0; v < g.N(); v++ {
+		got := nw.Machine(v).(*recorder)
+		want := ref.Machine(v).(*recorder)
+		if got.rounds != want.rounds {
+			t.Fatalf("node %d stepped %d rounds under actors, %d sequential", v, got.rounds, want.rounds)
+		}
+		if v%2 == 0 && got.rounds > 5 {
+			t.Fatalf("halted node %d kept stepping (%d rounds)", v, got.rounds)
+		}
+	}
+	if nw.Metrics() != ref.Metrics() {
+		t.Fatalf("metrics diverged:\nactors %+v\nseq    %+v", nw.Metrics(), ref.Metrics())
+	}
+}
+
+// tracingGossiper emits a trace event every step, so the Actors scheduler
+// records concurrently from every node goroutine (the -race CI pass runs
+// this file and verifies the recorder handoff).
+type tracingGossiper struct {
+	gossiper
+}
+
+func (m *tracingGossiper) Step(ctx *Context, inbox []Packet) {
+	ctx.Trace("step", "")
+	m.gossiper.Step(ctx, inbox)
+}
+
+// TestActorsTracingConcurrentRecord: tracing enabled under the Actors
+// scheduler must record exactly the events the sequential run records.
+func TestActorsTracingConcurrentRecord(t *testing.T) {
+	g := graph.Torus(4, 5)
+	run := func(s Scheduler) *trace.Counting {
+		rec := trace.NewCounting()
+		nw := New(Config{Graph: g, Seed: 9, Scheduler: s, Trace: rec},
+			func(node, degree int, r *rng.RNG) Machine { return &tracingGossiper{} })
+		defer nw.Close()
+		nw.Run(25)
+		return rec
+	}
+	act := run(Actors)
+	seq := run(Sequential)
+	if act.Count("step") == 0 {
+		t.Fatal("no trace events recorded under actors")
+	}
+	if act.Count("step") != seq.Count("step") {
+		t.Fatalf("actors recorded %d step events, sequential %d", act.Count("step"), seq.Count("step"))
 	}
 }
 

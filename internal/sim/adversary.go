@@ -1,0 +1,97 @@
+package sim
+
+// Adversary is a deterministic fault-injection policy interposed between
+// send and delivery. The simulator consults it from the single-threaded
+// routing/coordination path only, so implementations never see concurrent
+// calls — but determinism still must not lean on call order: every decision
+// is required to be a pure function of the adversary's own seed material
+// and the call's arguments, so that the Sequential, WorkerPool, and Actors
+// schedulers observe byte-identical faults. internal/adversary provides
+// composable implementations (Bernoulli link loss, crash-stop schedules,
+// link churn, delivery-delay jitter) built on rng seed splitting.
+//
+// A nil Config.Adversary costs nothing: the fault paths are gated on a
+// single nil check and the steady-state round stays allocation-free.
+type Adversary interface {
+	// CrashRound returns the round at whose start node v crash-stops
+	// (negative = never). It is consulted once per node at network
+	// construction. A crashed node no longer steps, sends nothing, and
+	// drops everything addressed to it; Init (round -1) always runs.
+	CrashRound(node int) int
+	// Fate decides what happens to one packet sent in round round (Init is
+	// round -1) by node from on port port toward node to: dropped, or
+	// delivered after delay extra rounds on top of the normal next-round
+	// delivery (0 = on time).
+	Fate(round, from, port, to int) (drop bool, delay int)
+	// MaxDelay bounds the delays Fate may return; it sizes the simulator's
+	// future-delivery ring. 0 means no jitter.
+	MaxDelay() int
+}
+
+// futureDelivery is a packet held back by adversarial delay, parked until
+// its arrival round.
+type futureDelivery struct {
+	node int
+	pkt  Packet
+}
+
+// applyCrashes crash-stops every node whose schedule has come due at the
+// start of round. Crashing reuses the halt machinery (no further steps,
+// inbound packets dropped), but is tracked separately so the harness can
+// distinguish "stopped by protocol" from "killed by adversary".
+func (nw *Network) applyCrashes(round int) {
+	if nw.adv == nil {
+		return
+	}
+	for v, at := range nw.crashAt {
+		if at >= 0 && at <= round && !nw.crashed[v] {
+			nw.crashed[v] = true
+			nw.halted[v] = true
+			nw.metrics.Crashes++
+		}
+	}
+}
+
+// releaseFutures merges the delayed packets arriving this round into their
+// receivers' inboxes (after the on-time packets routed last round, so
+// arrival order is deterministic for every scheduler). Packets for halted
+// or crashed receivers are dropped, mirroring normal delivery.
+func (nw *Network) releaseFutures(round int) {
+	if nw.adv == nil || nw.pendingFuture == 0 {
+		return
+	}
+	slot := round % len(nw.future)
+	bucket := nw.future[slot]
+	for _, fd := range bucket {
+		nw.pendingFuture--
+		if nw.halted[fd.node] {
+			continue
+		}
+		nw.inbox[fd.node] = append(nw.inbox[fd.node], fd.pkt)
+	}
+	nw.future[slot] = bucket[:0]
+}
+
+// dropAllFutures discards every parked delayed packet. Called when all
+// nodes have halted: nothing in the ring can ever be delivered, so the run
+// can terminate without spinning empty drain rounds.
+func (nw *Network) dropAllFutures() {
+	if nw.pendingFuture == 0 {
+		return
+	}
+	for i := range nw.future {
+		nw.future[i] = nw.future[i][:0]
+	}
+	nw.pendingFuture = 0
+}
+
+// Crashed reports whether node v was crash-stopped by the adversary (a
+// crashed node also reports Halted).
+func (nw *Network) Crashed(v int) bool {
+	return nw.crashed != nil && nw.crashed[v]
+}
+
+// CrashedCount returns the number of crash-stopped nodes so far.
+func (nw *Network) CrashedCount() int {
+	return nw.metrics.Crashes
+}

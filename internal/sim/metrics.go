@@ -28,6 +28,16 @@ type Metrics struct {
 	// MaxChannels is the maximum number of distinct channels active on a
 	// single link in a single round.
 	MaxChannels int
+	// Dropped counts packets destroyed by the configured adversary (loss
+	// or link churn). Dropped packets still count in Messages/Bits and in
+	// link-slot charging: the sender transmitted them. Always 0 without an
+	// adversary.
+	Dropped int64
+	// Delayed counts packets the adversary deferred past their normal
+	// next-round delivery. Always 0 without an adversary.
+	Delayed int64
+	// Crashes counts nodes crash-stopped by the adversary.
+	Crashes int
 }
 
 // String renders the metrics compactly for logs and CLI output.

@@ -32,6 +32,10 @@ type Config struct {
 	// Context.Trace. Must be safe for concurrent Record calls when a
 	// concurrent scheduler is selected.
 	Trace trace.Recorder
+	// Adversary, when non-nil, perturbs delivery (drops, delays, crashes).
+	// Nil costs nothing on the hot path. See the Adversary interface and
+	// internal/adversary for deterministic, seed-derived implementations.
+	Adversary Adversary
 }
 
 // Network is a running simulation: one Machine per node plus double-buffered
@@ -61,6 +65,12 @@ type Network struct {
 	routeEpoch uint64
 	loads      []chanLoad
 	touched    []int32
+	// Fault injection (all nil/empty when adv is nil — the common case).
+	adv           Adversary
+	crashAt       []int              // per-node crash round (-1 = never)
+	crashed       []bool             // nodes crash-stopped so far
+	future        [][]futureDelivery // delay ring, indexed by arrival round mod len
+	pendingFuture int                // packets parked in the ring
 }
 
 // chanLoad is the bit load of one (directed edge, channel) pair within one
@@ -149,6 +159,19 @@ func New(cfg Config, factory Factory) *Network {
 	nw.linkHead = make([]int32, off)
 	nw.linkEpoch = make([]uint64, off)
 
+	if cfg.Adversary != nil {
+		nw.adv = cfg.Adversary
+		nw.crashAt = make([]int, n)
+		nw.crashed = make([]bool, n)
+		for v := 0; v < n; v++ {
+			nw.crashAt[v] = nw.adv.CrashRound(v)
+		}
+		// Ring size: while routing round r the live arrival rounds span
+		// [r+1, r+1+MaxDelay] (slot r was drained first) — MaxDelay+2
+		// slots never collide.
+		nw.future = make([][]futureDelivery, nw.adv.MaxDelay()+2)
+	}
+
 	// Init phase (round -1): run Init on every machine, deliver sends to
 	// round 0 mailboxes.
 	for v := 0; v < n; v++ {
@@ -156,7 +179,7 @@ func New(cfg Config, factory Factory) *Network {
 		ctx.reset(-1)
 		nw.machines[v].Init(ctx)
 	}
-	nw.route()
+	nw.route(-1)
 	nw.finishRoundAccounting(false)
 	return nw
 }
@@ -192,12 +215,17 @@ func (nw *Network) Metrics() Metrics { return nw.metrics }
 // actor goroutines).
 func (nw *Network) Step() bool {
 	if nw.AllHalted() && nw.inflight == 0 {
+		// Parked delayed packets can only target halted receivers now, so
+		// they are undeliverable — discard instead of spinning drain rounds.
+		nw.dropAllFutures()
 		nw.Close()
 		return false
 	}
 	round := nw.metrics.Rounds
+	nw.applyCrashes(round)
+	nw.releaseFutures(round)
 	nw.deliver(round)
-	nw.route()
+	nw.route(round)
 	nw.metrics.Rounds++
 	nw.finishRoundAccounting(true)
 	return true
@@ -276,9 +304,11 @@ func (nw *Network) deliver(round int) {
 }
 
 // route moves every context's sends into the receivers' next-round
-// mailboxes, in sender order (single-threaded: determinism for both
-// schedulers), applies halts, and meters traffic.
-func (nw *Network) route() {
+// mailboxes, in sender order (single-threaded: determinism for every
+// scheduler), applies halts, meters traffic, and — when an adversary is
+// configured — lets it drop or delay each packet. round is the round whose
+// sends are being routed (-1 for Init).
+func (nw *Network) route(round int) {
 	nw.inflight = 0
 	nw.routeEpoch++
 	nw.loads = nw.loads[:0]
@@ -294,9 +324,28 @@ func (nw *Network) route() {
 			bits := s.payload.Bits()
 			nw.metrics.Messages++
 			nw.metrics.Bits += int64(bits)
+			// Link slots are charged before the adversary acts: a dropped
+			// or delayed packet was still transmitted by its sender.
 			nw.addLinkBits(int32(nw.edgeOff[v]+s.port), s.channel, bits)
+			delay := 0
+			if nw.adv != nil {
+				drop, d := nw.adv.Fate(round, v, s.port, w)
+				if drop {
+					nw.metrics.Dropped++
+					continue
+				}
+				delay = d
+			}
 			if nw.halted[w] {
 				continue // receiver stopped: packet dropped
+			}
+			if delay > 0 {
+				nw.metrics.Delayed++
+				slot := (round + 1 + delay) % len(nw.future)
+				nw.future[slot] = append(nw.future[slot],
+					futureDelivery{node: w, pkt: Packet{Port: int(q), Channel: s.channel, Payload: s.payload}})
+				nw.pendingFuture++
+				continue
 			}
 			nw.next[w] = append(nw.next[w], Packet{Port: int(q), Channel: s.channel, Payload: s.payload})
 			nw.inflight++

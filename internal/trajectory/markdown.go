@@ -18,8 +18,8 @@ func (r Report) Markdown() string {
 			"distributions, so variance-aware thresholds are disabled and only the relative " +
 			"tolerance applies.\n\n")
 	}
-	fmt.Fprintf(&b, "**%d regressed · %d improved · %d unchanged** across %d aligned cells",
-		r.Regressed, r.Improved, r.Unchanged, len(r.Cells))
+	fmt.Fprintf(&b, "**%d regressed · %d improved · %d drifted · %d unchanged** across %d aligned cells",
+		r.Regressed, r.Improved, r.Drifted, r.Unchanged, len(r.Cells))
 	if len(r.Added) > 0 || len(r.Removed) > 0 {
 		fmt.Fprintf(&b, " (+%d added, −%d removed)", len(r.Added), len(r.Removed))
 	}
@@ -65,8 +65,8 @@ func (r Report) Markdown() string {
 		}
 		b.WriteString("\n")
 	}
-	fmt.Fprintf(&b, "Thresholds: rel-tol %.3g, sigmas %.3g.\n",
-		r.Thresholds.RelTol, r.Thresholds.Sigmas)
+	fmt.Fprintf(&b, "Thresholds: rel-tol %.3g, sigmas %.3g, drift-tol %.3g.\n",
+		r.Thresholds.RelTol, r.Thresholds.Sigmas, r.Thresholds.DriftTol)
 	return b.String()
 }
 
@@ -101,6 +101,9 @@ func fmtEffect(md MetricDiff) string {
 	if md.Metric == "success_rate" {
 		return "Wilson"
 	}
+	if md.Metric == "msgs_vs_pred" || md.Metric == "time_vs_pred" {
+		return "ratio" // measured/predicted, not a raw mean
+	}
 	if md.StdErr == 0 {
 		return "—" // no variance available (v1 pair or zero-spread sample)
 	}
@@ -120,6 +123,8 @@ func statusIcon(s Status) string {
 		return "🔴"
 	case Improved:
 		return "🟢"
+	case Drifted:
+		return "🟠"
 	default:
 		return "⚪"
 	}

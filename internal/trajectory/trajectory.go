@@ -29,10 +29,14 @@ type Key struct {
 	Family    string `json:"family"`
 	N         int    `json:"n"`
 	PresumedN int    `json:"presumed_n,omitempty"`
+	// Adversary is the fault-injection descriptor ("" = fault-free, which
+	// is what every v1/v2 cell aligns as). Schema v3.
+	Adversary string `json:"adversary,omitempty"`
 }
 
 func keyOf(c harness.ArtifactCell) Key {
-	return Key{Protocol: c.Protocol, Family: c.Family, N: c.N, PresumedN: c.PresumedN}
+	return Key{Protocol: c.Protocol, Family: c.Family, N: c.N,
+		PresumedN: c.PresumedN, Adversary: c.Adversary}
 }
 
 // String renders the key the way the rendered tables name cells.
@@ -41,18 +45,25 @@ func (k Key) String() string {
 	if k.PresumedN > 0 && k.PresumedN != k.N {
 		s += fmt.Sprintf(" (presumed n=%d)", k.PresumedN)
 	}
+	if k.Adversary != "" {
+		s += fmt.Sprintf(" [%s]", k.Adversary)
+	}
 	return s
 }
 
 // Status classifies one metric of one aligned cell.
 type Status string
 
-// The three classifications. For cost metrics lower is better; for the
-// success rate higher is better — Regressed always means "got worse".
+// The classifications. For cost metrics lower is better; for the success
+// rate higher is better — Regressed always means "got worse". Drifted is
+// reserved for the predicted-vs-measured ratio metrics: the measurement
+// moved away from (or toward) the paper's bound relative to the baseline
+// by more than the drift tolerance, in either direction.
 const (
 	Improved  Status = "improved"
 	Unchanged Status = "unchanged"
 	Regressed Status = "regressed"
+	Drifted   Status = "drifted"
 )
 
 // Thresholds tunes the classifier. The zero value selects the defaults.
@@ -65,6 +76,12 @@ type Thresholds struct {
 	// of the difference of means (default 3). Guards against flagging
 	// trial noise. Only applies when both artifacts carry distributions.
 	Sigmas float64 `json:"sigmas"`
+	// DriftTol is the minimum relative change of a measured/predicted
+	// ratio between base and head to flag predicted-vs-measured drift
+	// (default 0.25). Both artifacts persist the paper-bound predictions
+	// per cell, so this gate catches a cell walking away from its
+	// complexity bound even when raw costs moved "legitimately".
+	DriftTol float64 `json:"drift_tol"`
 }
 
 // withDefaults resolves zero fields to the default thresholds.
@@ -74,6 +91,9 @@ func (t Thresholds) withDefaults() Thresholds {
 	}
 	if t.Sigmas <= 0 {
 		t.Sigmas = 3
+	}
+	if t.DriftTol <= 0 {
+		t.DriftTol = 0.25
 	}
 	return t
 }
@@ -115,10 +135,17 @@ type Report struct {
 	Improved  int `json:"improved"`
 	Unchanged int `json:"unchanged"`
 	Regressed int `json:"regressed"`
+	// Drifted counts predicted-vs-measured ratio metrics that moved
+	// beyond DriftTol between base and head (gated by -fail-on drift,
+	// independently of the cost-regression gate).
+	Drifted int `json:"drifted"`
 }
 
 // HasRegressions reports whether any aligned metric regressed.
 func (r Report) HasRegressions() bool { return r.Regressed > 0 }
+
+// HasDrift reports whether any measured/predicted ratio drifted.
+func (r Report) HasDrift() bool { return r.Drifted > 0 }
 
 // JSON renders the report machine-readably.
 func (r Report) JSON() ([]byte, error) {
@@ -207,6 +234,39 @@ func rate(c harness.ArtifactCell) float64 {
 	return float64(c.Successes) / float64(c.Trials)
 }
 
+// driftMetrics pairs each persisted prediction with the measurement it
+// bounds: the paper's message bound against mean messages, its time bound
+// against mean rounds.
+var driftMetrics = []struct {
+	name      string
+	measured  func(harness.ArtifactCell) float64
+	predicted func(harness.ArtifactCell) float64
+}{
+	{"msgs_vs_pred", func(c harness.ArtifactCell) float64 { return c.Messages },
+		func(c harness.ArtifactCell) float64 { return c.PredictedMsgs }},
+	{"time_vs_pred", func(c harness.ArtifactCell) float64 { return c.Rounds },
+		func(c harness.ArtifactCell) float64 { return c.PredictedTime }},
+}
+
+// classifyDrift compares one measured/predicted ratio between base and
+// head. A cell whose ratio moves by more than DriftTol relative to its
+// baseline ratio is Drifted — the measurement walked away from (or
+// toward) the paper's bound, a different signal than a raw cost change.
+// Returns ok=false when either side lacks a usable prediction (ratio
+// undefined), in which case no metric is emitted.
+func classifyDrift(name string, baseMeas, basePred, headMeas, headPred float64, th Thresholds) (MetricDiff, bool) {
+	if basePred <= 0 || headPred <= 0 || baseMeas <= 0 || headMeas <= 0 {
+		return MetricDiff{}, false
+	}
+	baseRatio, headRatio := baseMeas/basePred, headMeas/headPred
+	d := MetricDiff{Metric: name, Base: baseRatio, Head: headRatio, Status: Unchanged}
+	d.RelDelta = (headRatio - baseRatio) / baseRatio
+	if math.Abs(d.RelDelta) > th.DriftTol {
+		d.Status = Drifted
+	}
+	return d, true
+}
+
 // Diff aligns the cells of two artifacts by Key and classifies every
 // metric. Aligned cells keep base order; duplicates of a key pair up by
 // occurrence index, with unpaired occurrences reported as added/removed.
@@ -249,12 +309,21 @@ func Diff(base, head harness.Artifact, th Thresholds) Report {
 				classifyCost(m, cellDist(bc, m), cellDist(hc, m), th, meansOnly))
 		}
 		cd.Metrics = append(cd.Metrics, classifySuccess(bc, hc))
+		for _, dm := range driftMetrics {
+			if md, ok := classifyDrift(dm.name,
+				dm.measured(bc), dm.predicted(bc),
+				dm.measured(hc), dm.predicted(hc), th); ok {
+				cd.Metrics = append(cd.Metrics, md)
+			}
+		}
 		for _, md := range cd.Metrics {
 			switch md.Status {
 			case Improved:
 				r.Improved++
 			case Regressed:
 				r.Regressed++
+			case Drifted:
+				r.Drifted++
 			default:
 				r.Unchanged++
 			}

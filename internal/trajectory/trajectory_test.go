@@ -300,3 +300,125 @@ func TestDiffRealArtifactsSelf(t *testing.T) {
 		t.Fatalf("self-diff not clean: %+v", r)
 	}
 }
+
+// TestAdversaryKeyAlignment: cells identical except for the adversary
+// descriptor are distinct sweep cells — a faulted cell never pairs with
+// its fault-free sibling.
+func TestAdversaryKeyAlignment(t *testing.T) {
+	plain := cell("ire", "expander", 64, 5, 5, 100, 1)
+	faulted := cell("ire", "expander", 64, 5, 3, 40, 1)
+	faulted.Adversary = "loss=0.1"
+	base := artifact(harness.ArtifactSchema, plain, faulted)
+
+	// Head with the same two cells: both align by key, nothing added.
+	r := Diff(base, base, Thresholds{})
+	if len(r.Cells) != 2 || len(r.Added)+len(r.Removed) != 0 {
+		t.Fatalf("v3 self-alignment wrong: %+v", r)
+	}
+	if r.Cells[1].Key.Adversary != "loss=0.1" {
+		t.Fatalf("faulted key lost its adversary: %+v", r.Cells[1].Key)
+	}
+	if !strings.Contains(r.Cells[1].Key.String(), "[loss=0.1]") {
+		t.Fatalf("key render missing adversary: %s", r.Cells[1].Key)
+	}
+
+	// Dropping the faulted cell from head reports it removed, not merged
+	// into the fault-free cell.
+	head := artifact(harness.ArtifactSchema, plain)
+	r = Diff(base, head, Thresholds{})
+	if len(r.Cells) != 1 || len(r.Removed) != 1 || r.Removed[0].Adversary != "loss=0.1" {
+		t.Fatalf("faulted cell not tracked separately: %+v", r)
+	}
+
+	// A v2 base (descriptor-less cells) aligns against the v3 head's
+	// fault-free cell only.
+	v2 := artifact(harness.ArtifactSchemaV2, cell("ire", "expander", 64, 5, 5, 100, 1))
+	r = Diff(v2, base, Thresholds{})
+	if len(r.Cells) != 1 || len(r.Added) != 1 || r.Added[0].Adversary != "loss=0.1" {
+		t.Fatalf("v2-vs-v3 alignment wrong: %+v", r)
+	}
+	if r.MeansOnly {
+		t.Fatal("v2-vs-v3 pair downgraded to means-only")
+	}
+}
+
+// predCell attaches predictions to a cell so the drift classifier engages.
+func predCell(mean, predMsgs, predTime float64) harness.ArtifactCell {
+	c := cell("ire", "expander", 64, 5, 5, mean, 1)
+	c.PredictedMsgs, c.PredictedTime = predMsgs, predTime
+	return c
+}
+
+// TestDriftClassification: the measured/predicted ratio gates on its own
+// tolerance, in both directions, independently of the cost classifier.
+func TestDriftClassification(t *testing.T) {
+	base := artifact(harness.ArtifactSchema, predCell(100, 50, 50))
+	// Same measurement, same predictions: no drift.
+	r := Diff(base, base, Thresholds{})
+	if r.Drifted != 0 || r.HasDrift() {
+		t.Fatalf("self-diff drifted: %+v", r)
+	}
+	found := 0
+	for _, md := range r.Cells[0].Metrics {
+		if md.Metric == "msgs_vs_pred" || md.Metric == "time_vs_pred" {
+			found++
+			if md.Base != 2 || md.Head != 2 || md.Status != Unchanged {
+				t.Fatalf("drift metric wrong: %+v", md)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("drift metrics missing (%d found)", found)
+	}
+
+	// Head ratio moves 2x (measured doubled, predictions fixed): drift in
+	// the away-from-bound direction.
+	head := artifact(harness.ArtifactSchema, predCell(200, 50, 50))
+	r = Diff(base, head, Thresholds{})
+	if r.Drifted != 2 || !r.HasDrift() {
+		t.Fatalf("2x ratio change not flagged: %+v", r)
+	}
+	// Toward-the-bound movement drifts too (the ratio is a calibration,
+	// not a cost).
+	headDown := artifact(harness.ArtifactSchema, predCell(40, 50, 50))
+	if r = Diff(base, headDown, Thresholds{}); r.Drifted != 2 {
+		t.Fatalf("toward-bound drift not flagged: %+v", r)
+	}
+	// A wide tolerance clears it.
+	if r = Diff(base, head, Thresholds{DriftTol: 1.5}); r.Drifted != 0 {
+		t.Fatalf("drift flagged despite wide tolerance: %+v", r)
+	}
+	// Cells without predictions emit no drift metrics at all.
+	noPred := artifact(harness.ArtifactSchema, cell("ire", "expander", 64, 5, 5, 100, 1))
+	r = Diff(noPred, noPred, Thresholds{})
+	for _, md := range r.Cells[0].Metrics {
+		if md.Metric == "msgs_vs_pred" || md.Metric == "time_vs_pred" {
+			t.Fatalf("drift metric emitted without predictions: %+v", md)
+		}
+	}
+}
+
+// TestCSVRender: the CSV export carries identity columns, one row per
+// metric, and added/removed coverage rows.
+func TestCSVRender(t *testing.T) {
+	faulted := cell("ire", "expander", 64, 5, 3, 40, 1)
+	faulted.Adversary = "loss=0.1"
+	base := artifact(harness.ArtifactSchema, cell("ire", "expander", 64, 5, 5, 100, 1), faulted)
+	head := artifact(harness.ArtifactSchema, cell("ire", "expander", 64, 5, 5, 100, 1),
+		cell("flood", "cycle", 32, 5, 5, 10, 1))
+	out, err := Diff(base, head, Thresholds{}).CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 5 metrics for the aligned cell + 1 added + 1 removed.
+	if len(lines) != 8 {
+		t.Fatalf("%d CSV lines, want 8:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "protocol,family,n,presumed_n,adversary,metric") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(out, "loss=0.1") || !strings.Contains(out, ",removed") || !strings.Contains(out, ",added") {
+		t.Fatalf("CSV missing identity or coverage rows:\n%s", out)
+	}
+}
