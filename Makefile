@@ -7,6 +7,8 @@ GO ?= go
 
 all: build
 
+# ./... covers the library, cmds and examples; CI's build job additionally
+# runs `go build ./examples/...` as an explicit guard.
 build:
 	$(GO) build ./...
 

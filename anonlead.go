@@ -3,50 +3,64 @@
 // Communication Complexity of Leader Election in Anonymous Networks"
 // (ICDCS 2021, arXiv:2101.04400).
 //
-// The package offers two elections over a synchronous CONGEST simulation
-// of an anonymous network (nodes have no identifiers, only ports):
+// Elections run over a synchronous CONGEST simulation of an anonymous
+// network (nodes have no identifiers, only ports). The protocols are
+// named entries in a registry — Protocols() enumerates them — and every
+// one executes through the same session surface:
 //
-//   - Elect: Irrevocable Leader Election for known network size — the
+//	out, err := nw.Run(ctx, anonlead.ProtoIRE, anonlead.WithSeed(42))
+//
+// Registered protocols:
+//
+//   - ire: Irrevocable Leader Election for known network size — the
 //     paper's Section 4 protocol (cautious broadcast territories, random
 //     walk probes, convergecast) using Õ(√(n·tmix/Φ)) messages and
 //     O(tmix·log² n) rounds, with high probability.
+//   - explicit: ire followed by a leader announcement flood that makes
+//     every node learn the leader and builds a leader-rooted BFS spanning
+//     tree (the paper's Section 3 extension).
+//   - revocable: Revocable ("blind") Leader Election for unknown network
+//     size — the paper's Section 5.2 protocol. By Theorem 2 no algorithm
+//     can irrevocably elect without knowing the size, so the returned
+//     leader is a stabilized revocable choice backed by a certificate.
+//   - floodmax: the Kutten-class FloodMax baseline (known n and D).
+//   - allflood: naive FloodMax with every node a candidate.
+//   - walknotify: the Gilbert-class random-walk baseline (known n, tmix).
 //
-//   - ElectRevocable: Revocable ("blind") Leader Election for unknown
-//     network size — the paper's Section 5.2 protocol (Blind Leader
-//     Election with Certificates via Diffusion with Thresholds). By the
-//     paper's Theorem 2 no algorithm can irrevocably elect without knowing
-//     the size, so the returned leader is a stabilized revocable choice.
+// Run composes with options: WithScheduler selects the execution engine
+// (all engines are bit-identical), WithAdversary injects deterministic
+// faults (message loss, crash-stop, churn, delivery jitter) described by
+// an AdversarySpec, WithObserver streams per-round cost metrics, and
+// WithPresumedN misreports the network size for knowledge ablations
+// (after Dieudonné & Pelc). The context cancels long runs cooperatively.
 //
 // Topologies come from NewNetwork (named families) or NewNetworkFromEdges
 // (custom edge lists). Every election is deterministic in the provided
-// seed.
+// seed: same network, protocol, seed and options — byte-identical outcome,
+// regardless of scheduler.
 //
-// Quick start:
-//
-//	nw, err := anonlead.NewNetwork("expander", 256, 1)
-//	if err != nil { ... }
-//	res, err := nw.Elect(anonlead.WithSeed(42))
-//	if err != nil { ... }
-//	fmt.Println(res.Unique, res.Leaders, res.Messages)
+// Elect, ElectExplicit and ElectRevocable are thin wrappers over Run kept
+// for compatibility with the original three-method API.
 package anonlead
 
 import (
-	"fmt"
+	"sync"
 
-	"anonlead/internal/core"
 	"anonlead/internal/graph"
 	"anonlead/internal/rng"
-	"anonlead/internal/sim"
 	"anonlead/internal/spectral"
 )
 
 // Network is an anonymous network instance: a connected topology plus its
 // structural profile (diameter, mixing time, conductance, isoperimetric
-// number). Construct with NewNetwork or NewNetworkFromEdges. A Network is
-// immutable and safe for concurrent elections.
+// number), computed lazily when a protocol or Stats needs it. Construct
+// with NewNetwork or NewNetworkFromEdges. A Network is immutable and safe
+// for concurrent elections.
 type Network struct {
-	g    *graph.Graph
-	prof *spectral.Profile
+	g        *graph.Graph
+	profOnce sync.Once
+	prof     *spectral.Profile
+	profErr  error
 }
 
 // Families returns the topology family names accepted by NewNetwork:
@@ -55,13 +69,16 @@ type Network struct {
 func Families() []string { return graph.FamilyNames() }
 
 // NewNetwork builds a named topology family instance on n nodes. Random
-// families (regular, gnp, expander) are drawn deterministically from seed.
+// families (regular, gnp, expander) are drawn deterministically from seed
+// with the same derivation the experiment harness uses, so
+// NewNetwork(family, n, seed) is exactly the workload graph behind the
+// corresponding sweep cell in the benchmark artifacts.
 func NewNetwork(family string, n int, seed uint64) (*Network, error) {
-	g, err := graph.ByName(family, n, rng.New(seed).SplitString("family:"+family))
+	g, err := graph.ByName(family, n, rng.New(seed).SplitString("graph:"+family))
 	if err != nil {
 		return nil, err
 	}
-	return newNetwork(g)
+	return newNetwork(g, true)
 }
 
 // NewNetworkFromEdges builds a network from an explicit undirected edge
@@ -71,18 +88,49 @@ func NewNetworkFromEdges(n int, edges [][2]int) (*Network, error) {
 	for _, e := range edges {
 		b.AddEdge(e[0], e[1])
 	}
-	return newNetwork(b.Graph())
+	return newNetwork(b.Graph(), true)
 }
 
-func newNetwork(g *graph.Graph) (*Network, error) {
+// NewNetworkFromGraph wraps an already-built internal topology without
+// re-deriving it from a family name. The parameter type lives in an
+// internal package, so only this module's own packages (the experiment
+// harness, the CLIs) can call it; external users construct networks with
+// NewNetwork or NewNetworkFromEdges. The spectral profile is computed
+// lazily, so wrapping is cheap when every protocol input is supplied
+// explicitly.
+func NewNetworkFromGraph(g *graph.Graph) (*Network, error) {
+	return newNetwork(g, false)
+}
+
+func newNetwork(g *graph.Graph, eager bool) (*Network, error) {
+	if g == nil || g.N() == 0 {
+		return nil, errEmptyGraph
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	prof, err := spectral.ProfileGraph(g)
-	if err != nil {
-		return nil, err
+	if !g.IsConnected() {
+		// Rejected on every construction path (not just the eager one that
+		// profiles) so Stats and the profiled defaults can never observe a
+		// disconnected graph.
+		return nil, graph.ErrDisconnected
 	}
-	return &Network{g: g, prof: prof}, nil
+	nw := &Network{g: g}
+	if eager {
+		if _, err := nw.profile(); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// profile returns the network's structural profile, computing it on first
+// use (profiling rejects disconnected graphs).
+func (nw *Network) profile() (*spectral.Profile, error) {
+	nw.profOnce.Do(func() {
+		nw.prof, nw.profErr = spectral.ProfileGraph(nw.g)
+	})
+	return nw.prof, nw.profErr
 }
 
 // N returns the number of nodes.
@@ -91,16 +139,21 @@ func (nw *Network) N() int { return nw.g.N() }
 // M returns the number of links.
 func (nw *Network) M() int { return nw.g.M() }
 
-// Stats returns the network's structural profile.
+// Stats returns the network's structural profile (zero value if the
+// graph is disconnected; constructors reject those up front).
 func (nw *Network) Stats() NetworkStats {
+	prof, err := nw.profile()
+	if err != nil {
+		return NetworkStats{}
+	}
 	return NetworkStats{
-		N:             nw.prof.N,
-		M:             nw.prof.M,
-		Diameter:      nw.prof.Diameter,
-		MixingTime:    nw.prof.MixingTime,
-		Conductance:   nw.prof.Conductance,
-		Isoperimetric: nw.prof.Isoperim,
-		SpectralGap:   nw.prof.SpectralGap,
+		N:             prof.N,
+		M:             prof.M,
+		Diameter:      prof.Diameter,
+		MixingTime:    prof.MixingTime,
+		Conductance:   prof.Conductance,
+		Isoperimetric: prof.Isoperim,
+		SpectralGap:   prof.SpectralGap,
 	}
 }
 
@@ -120,41 +173,16 @@ type NetworkStats struct {
 // the outcome. With default options the protocol parameters follow the
 // paper with the calibration constants recorded in EXPERIMENTS.md; the
 // election succeeds (exactly one leader) with high probability.
+//
+// Elect is a thin wrapper over Run(ctx, ProtoIRE, ...); new code should
+// prefer Run, which also exposes the scheduler, adversary and observer
+// options and per-protocol extras.
 func (nw *Network) Elect(opts ...Option) (Result, error) {
-	o := buildOptions(opts)
-	cfg := core.IREConfig{
-		N:       nw.g.N(),
-		TMix:    o.mixingTime,
-		Phi:     o.conductance,
-		C:       o.constant,
-		X:       o.walks,
-		XFactor: o.walkFactor,
-	}
-	if cfg.TMix == 0 {
-		cfg.TMix = nw.prof.MixingTime
-	}
-	if cfg.Phi == 0 {
-		cfg.Phi = nw.prof.Conductance
-	}
-	factory, err := core.NewIREFactory(cfg)
+	out, err := nw.Run(nil, ProtoIRE, opts...)
 	if err != nil {
 		return Result{}, err
 	}
-	net := sim.New(sim.Config{Graph: nw.g, Seed: o.seed, Parallel: o.parallel}, factory)
-	_, _, _, _, total := net.Machine(0).(*core.IREMachine).Params()
-	rounds := net.Run(total + 4)
-	if !net.AllHalted() {
-		return Result{}, fmt.Errorf("anonlead: protocol did not halt within %d rounds", total+4)
-	}
-	res := Result{Rounds: rounds}
-	fillMetrics(&res, net.Metrics())
-	for v := 0; v < nw.g.N(); v++ {
-		if net.Machine(v).(*core.IREMachine).Output().Leader {
-			res.Leaders = append(res.Leaders, v)
-		}
-	}
-	res.Unique = len(res.Leaders) == 1
-	return res, nil
+	return out.Result, nil
 }
 
 // ElectExplicit runs explicit Irrevocable Leader Election: the implicit
@@ -162,124 +190,36 @@ func (nw *Network) Elect(opts ...Option) (Result, error) {
 // every node learn the leader and simultaneously builds a leader-rooted
 // BFS spanning tree (the paper's Section 3 extension). The extra cost over
 // Elect is at most 2m messages and n rounds.
+//
+// ElectExplicit is a thin wrapper over Run(ctx, ProtoExplicit, ...).
 func (nw *Network) ElectExplicit(opts ...Option) (ExplicitResult, error) {
-	o := buildOptions(opts)
-	cfg := core.ExplicitConfig{IRE: core.IREConfig{
-		N:       nw.g.N(),
-		TMix:    o.mixingTime,
-		Phi:     o.conductance,
-		C:       o.constant,
-		X:       o.walks,
-		XFactor: o.walkFactor,
-	}}
-	if cfg.IRE.TMix == 0 {
-		cfg.IRE.TMix = nw.prof.MixingTime
-	}
-	if cfg.IRE.Phi == 0 {
-		cfg.IRE.Phi = nw.prof.Conductance
-	}
-	factory, err := core.NewExplicitFactory(cfg)
+	out, err := nw.Run(nil, ProtoExplicit, opts...)
 	if err != nil {
 		return ExplicitResult{}, err
 	}
-	net := sim.New(sim.Config{Graph: nw.g, Seed: o.seed, Parallel: o.parallel}, factory)
-	total := net.Machine(0).(*core.ExplicitMachine).TotalRounds()
-	rounds := net.Run(total + 4)
-	if !net.AllHalted() {
-		return ExplicitResult{}, fmt.Errorf("anonlead: explicit protocol did not halt within %d rounds", total+4)
-	}
-	res := ExplicitResult{
-		Result:  Result{Rounds: rounds},
-		Parents: make([]int, nw.g.N()),
-		Depths:  make([]int, nw.g.N()),
-	}
-	fillMetrics(&res.Result, net.Metrics())
-	res.AllKnow = true
-	for v := 0; v < nw.g.N(); v++ {
-		out := net.Machine(v).(*core.ExplicitMachine).Output()
-		if out.IRE.Leader {
-			res.Leaders = append(res.Leaders, v)
-			res.LeaderID = out.IRE.ID
-		}
-		if !out.KnowsLeader {
-			res.AllKnow = false
-		}
-		res.Depths[v] = out.Depth
-		if out.ParentPort >= 0 {
-			res.Parents[v] = nw.g.Neighbor(v, out.ParentPort)
-		} else {
-			res.Parents[v] = -1
-		}
-	}
-	res.Unique = len(res.Leaders) == 1
-	return res, nil
+	return ExplicitResult{
+		Result:   out.Result,
+		LeaderID: out.LeaderID,
+		AllKnow:  out.AllKnow,
+		Parents:  out.Parents,
+		Depths:   out.Depths,
+	}, nil
 }
 
 // ElectRevocable runs Revocable Leader Election (unknown network size)
 // until the stabilization point guaranteed by the paper's Theorem 3 (all
 // nodes chose certified IDs, all agree on the leader certificate, and the
 // size estimate passed 4n) and returns the stabilized outcome.
+//
+// ElectRevocable is a thin wrapper over Run(ctx, ProtoRevocable, ...).
 func (nw *Network) ElectRevocable(opts ...Option) (RevocableResult, error) {
-	o := buildOptions(opts)
-	cfg := core.RevocableConfig{
-		Epsilon:       o.epsilon,
-		Xi:            o.xi,
-		Isoperimetric: o.isoperimetric,
-		FMult:         o.fMult,
-		RMult:         o.rMult,
-	}
-	factory, err := core.NewRevocableFactory(cfg)
+	out, err := nw.Run(nil, ProtoRevocable, opts...)
 	if err != nil {
 		return RevocableResult{}, err
 	}
-	eps := cfg.Epsilon
-	if eps == 0 {
-		eps = 0.5
+	res := RevocableResult{Result: out.Result, FinalEstimate: out.FinalEstimate}
+	if out.Certificate != nil {
+		res.Certificate = *out.Certificate
 	}
-	maxRounds := o.maxRounds
-	if maxRounds <= 0 {
-		maxRounds = 200_000_000
-	}
-	net := sim.New(sim.Config{Graph: nw.g, Seed: o.seed, Parallel: o.parallel}, factory)
-	stable := func() bool { return revocableStable(net, eps) }
-	rounds := net.RunUntil(maxRounds, func(completed int) bool {
-		return completed%64 == 0 && stable()
-	})
-	if !stable() {
-		return RevocableResult{}, fmt.Errorf("anonlead: revocable election did not stabilize within %d rounds", rounds)
-	}
-	res := RevocableResult{Result: Result{Rounds: rounds}}
-	fillMetrics(&res.Result, net.Metrics())
-	for v := 0; v < nw.g.N(); v++ {
-		out := net.Machine(v).(*core.RevocableMachine).Output()
-		if out.Leader {
-			res.Leaders = append(res.Leaders, v)
-		}
-		if v == 0 {
-			res.Certificate = Certificate{ID: out.LeaderID, Estimate: out.LeaderK}
-			res.FinalEstimate = out.EstimateK
-		}
-	}
-	res.Unique = len(res.Leaders) == 1
-	res.Result.Rounds = rounds
 	return res, nil
-}
-
-// revocableStable is the Theorem 3 stabilization predicate.
-func revocableStable(net *sim.Network, eps float64) bool {
-	n := net.N()
-	first := net.Machine(0).(*core.RevocableMachine).Output()
-	if !first.Chosen || first.LeaderK == 0 {
-		return false
-	}
-	if pow1e(float64(first.EstimateK), eps) <= 4*float64(n) {
-		return false
-	}
-	for v := 1; v < n; v++ {
-		o := net.Machine(v).(*core.RevocableMachine).Output()
-		if !o.Chosen || o.LeaderK != first.LeaderK || o.LeaderID != first.LeaderID {
-			return false
-		}
-	}
-	return true
 }

@@ -10,7 +10,11 @@
 //
 // The mapping from benchmarks to paper artifacts is indexed in DESIGN.md
 // §4 and the measured-vs-paper discussion lives in EXPERIMENTS.md.
-package anonlead
+//
+// This is an external test package (anonlead_test): it drives the
+// experiment harness, which itself runs on the public anonlead API, so an
+// internal test package would be an import cycle.
+package anonlead_test
 
 import (
 	"fmt"

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	// bound, selecting the Theorem 3 diffusion schedule; the calibration
 	// shortens the (polynomially huge) faithful schedule as recorded in
 	// EXPERIMENTS.md while preserving the detector behaviour.
-	res, err := nw.ElectRevocable(
+	res, err := nw.Run(context.Background(), anonlead.ProtoRevocable,
 		anonlead.WithSeed(3),
 		anonlead.WithIsoperimetric(stats.Isoperimetric),
 		anonlead.WithEpsilon(0.5),

@@ -2,13 +2,14 @@
 //
 // Builds a 256-node expander (6-regular random graph), runs the paper's
 // Irrevocable Leader Election protocol (cautious broadcast + random-walk
-// probes + convergecast), and prints the winner with the exact CONGEST
-// cost accounting.
+// probes + convergecast) through the unified Run surface, and prints the
+// winner with the exact CONGEST cost accounting.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,13 @@ import (
 )
 
 func main() {
+	// Every election protocol is a named registry entry behind one API.
+	fmt.Print("registered protocols:")
+	for _, name := range anonlead.Protocols() {
+		fmt.Printf(" %s", name)
+	}
+	fmt.Println()
+
 	nw, err := anonlead.NewNetwork("expander", 256, 1)
 	if err != nil {
 		log.Fatal(err)
@@ -24,20 +32,22 @@ func main() {
 	fmt.Printf("network: n=%d m=%d diameter=%d tmix=%d phi=%.3f\n",
 		stats.N, stats.M, stats.Diameter, stats.MixingTime, stats.Conductance)
 
-	res, err := nw.Elect(anonlead.WithSeed(42))
+	out, err := nw.Run(context.Background(), anonlead.ProtoIRE, anonlead.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("leaders elected: %v (unique=%t)\n", res.Leaders, res.Unique)
+	fmt.Printf("leaders elected: %v (unique=%t)\n", out.Leaders, out.Unique)
 	fmt.Printf("cost: %d messages, %d bits, %d rounds (%d CONGEST-charged)\n",
-		res.Messages, res.Bits, res.Rounds, res.ChargedRounds)
+		out.Messages, out.Bits, out.Rounds, out.ChargedRounds)
 
 	// Elections are deterministic in the seed and independent across
 	// seeds; rerun a few to see the high-probability guarantee at work.
+	// WithParallel fans node steps over all CPUs with bit-identical output.
 	unique := 0
 	const trials = 10
 	for seed := uint64(100); seed < 100+trials; seed++ {
-		r, err := nw.Elect(anonlead.WithSeed(seed))
+		r, err := nw.Run(context.Background(), anonlead.ProtoIRE,
+			anonlead.WithSeed(seed), anonlead.WithParallel(true))
 		if err != nil {
 			log.Fatal(err)
 		}

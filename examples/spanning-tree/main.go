@@ -6,12 +6,14 @@
 // the implicit Section 4 protocol elects, then the leader's announcement
 // flood teaches every node the leader's ID and leaves each node with a
 // parent pointer one hop closer to the leader — a BFS spanning tree ready
-// for aggregation or scheduling duties.
+// for aggregation or scheduling duties. The tree arrives as the explicit
+// protocol's per-protocol extras on the unified Run outcome.
 //
 //	go run ./examples/spanning-tree
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := nw.ElectExplicit(anonlead.WithSeed(11))
+	res, err := nw.Run(context.Background(), anonlead.ProtoExplicit, anonlead.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}

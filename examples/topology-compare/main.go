@@ -9,18 +9,20 @@
 // protocol's √(tmix·Φ) advantage over the Gilbert class is largest on
 // poorly conducting graphs like the cycle.
 //
-// The whole comparison matrix is expressed as one spec list and executed
-// by the experiment orchestrator, which fans cells and trials out over all
-// CPUs — with output bit-identical to a sequential loop.
+// The comparison is written entirely against the public API: every
+// protocol is a registry name handed to the same Network.Run call, so
+// swapping protocols is a string, not a method. (For large fanned-out
+// sweeps with distribution artifacts, see cmd/lebench.)
 //
 //	go run ./examples/topology-compare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"anonlead/internal/harness"
+	"anonlead"
 )
 
 func main() {
@@ -32,43 +34,38 @@ func main() {
 		{"cycle", []int{32, 64}},
 		{"diam2", []int{33, 65}},
 	}
-	protos := []harness.Protocol{
-		harness.ProtoIRE, harness.ProtoWalkNotify, harness.ProtoFlood,
-	}
+	protos := []string{anonlead.ProtoIRE, anonlead.ProtoWalkNotify, anonlead.ProtoFloodMax}
+	const trials = 5
 
-	// One flat spec list over family × size × protocol.
-	var specs []harness.CellSpec
-	for _, fam := range families {
-		for _, n := range fam.sizes {
-			for _, proto := range protos {
-				specs = append(specs, harness.CellSpec{
-					Protocol: proto,
-					Workload: harness.Workload{Family: fam.name, N: n},
-					Opts:     harness.TrialOpts{Trials: 5, Seed: 11},
-				})
-			}
-		}
-	}
-	cells, err := harness.Orchestrator{}.RunSweep(specs)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	i := 0
+	ctx := context.Background()
 	for _, fam := range families {
 		fmt.Printf("=== %s ===\n", fam.name)
-		t := harness.Table{
-			Header: []string{"protocol", "n", "msgs", "rounds", "charged", "success"},
-		}
-		for range fam.sizes {
-			for range protos {
-				cell := cells[i]
-				i++
-				t.AddRow(string(cell.Protocol), harness.I(cell.Workload.N),
-					harness.F(cell.Messages), harness.F(cell.Rounds), harness.F(cell.Charged),
-					fmt.Sprintf("%d/%d", cell.Successes, cell.Trials))
+		fmt.Printf("%-12s %6s %12s %8s %8s %8s\n",
+			"protocol", "n", "msgs", "rounds", "charged", "success")
+		for _, n := range fam.sizes {
+			nw, err := anonlead.NewNetwork(fam.name, n, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, proto := range protos {
+				var msgs, rounds, charged, wins float64
+				for t := 0; t < trials; t++ {
+					out, err := nw.Run(ctx, proto,
+						anonlead.WithSeed(11+uint64(t)), anonlead.WithParallel(true))
+					if err != nil {
+						log.Fatal(err)
+					}
+					msgs += float64(out.Messages)
+					rounds += float64(out.Rounds)
+					charged += float64(out.ChargedRounds)
+					if out.Unique {
+						wins++
+					}
+				}
+				fmt.Printf("%-12s %6d %12.1f %8.1f %8.1f %5.0f/%d\n",
+					proto, n, msgs/trials, rounds/trials, charged/trials, wins, trials)
 			}
 		}
-		fmt.Println(t.String())
+		fmt.Println()
 	}
 }

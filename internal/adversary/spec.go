@@ -81,6 +81,17 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// DeriveRunSeed derives a run's fault-injection stream seed from the
+// run's root seed. The labeled split keeps the adversary's randomness
+// disjoint from the protocol machines' (which split from the raw seed),
+// so enabling a zero-rate adversary perturbs nothing. This is THE
+// canonical derivation: the public anonlead.Run path and the experiment
+// harness both use it, which is what keeps fault-injected sweeps
+// byte-identical across the two surfaces.
+func DeriveRunSeed(runSeed uint64) uint64 {
+	return rng.New(runSeed).SplitString("adversary").DeriveSeed(0)
+}
+
 // fnum renders a probability compactly and canonically (no trailing
 // zeros), so descriptors are stable cell-key material.
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,13 +1,20 @@
 // Package harness runs the paper-reproduction experiments: it builds
-// topology cells, executes protocol trials on the CONGEST simulator,
-// aggregates cost metrics and success rates, and renders the Table 1 rows
-// and figure series that EXPERIMENTS.md records.
+// topology cells, executes protocol trials through the public anonlead
+// API (the registry-backed Network.Run session surface), aggregates cost
+// metrics and success rates, and renders the Table 1 rows and figure
+// series that EXPERIMENTS.md records.
+//
+// Every trial goes through anonlead.Run, so the sweeps exercise exactly
+// the code path external users call; the bench artifacts pin that the
+// migration kept trial semantics byte-identical.
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math"
 
+	"anonlead"
 	"anonlead/internal/adversary"
 	"anonlead/internal/baseline"
 	"anonlead/internal/core"
@@ -61,22 +68,84 @@ type Trial struct {
 	Metrics sim.Metrics
 }
 
-// SimOpts carries the execution knobs every trial runner threads into
-// sim.Config: scheduler selection and the optional fault adversary.
+// SimOpts carries the execution knobs every trial runner threads into the
+// public Run path: scheduler selection and the optional fault adversary.
 type SimOpts struct {
 	// Parallel selects the WorkerPool scheduler (kept for compatibility;
 	// an explicit Scheduler wins).
 	Parallel bool
 	// Scheduler explicitly selects the execution engine.
 	Scheduler sim.Scheduler
-	// Adversary, when non-nil, perturbs delivery (see internal/adversary).
-	Adversary sim.Adversary
+	// Adversary, when non-nil and non-zero, fault-injects the trial. The
+	// runtime adversary is built inside anonlead.Run with the canonical
+	// seed derivation (adversary.DeriveRunSeed), so harness and public
+	// fault-injected runs are byte-identical.
+	Adversary *adversary.Spec
 }
 
-// config assembles the sim configuration of one trial.
-func (o SimOpts) config(g *graph.Graph, seed uint64) sim.Config {
-	return sim.Config{Graph: g, Seed: seed, Parallel: o.Parallel,
-		Scheduler: o.Scheduler, Adversary: o.Adversary}
+// faulted reports whether the options carry an active fault policy.
+func (o SimOpts) faulted() bool {
+	return o.Adversary != nil && !o.Adversary.IsZero()
+}
+
+// options maps the execution knobs onto public Run options.
+func (o SimOpts) options(seed uint64) []anonlead.Option {
+	opts := []anonlead.Option{anonlead.WithSeed(seed)}
+	if o.Parallel {
+		opts = append(opts, anonlead.WithParallel(true))
+	}
+	if o.Scheduler != sim.Sequential {
+		opts = append(opts, anonlead.WithScheduler(publicScheduler(o.Scheduler)))
+	}
+	if o.Adversary != nil {
+		opts = append(opts, anonlead.WithAdversary(publicAdversary(*o.Adversary)))
+	}
+	return opts
+}
+
+// publicScheduler mirrors a simulator scheduler into the public enum.
+func publicScheduler(s sim.Scheduler) anonlead.Scheduler {
+	switch s {
+	case sim.WorkerPool:
+		return anonlead.WorkerPool
+	case sim.Actors:
+		return anonlead.Actors
+	default:
+		return anonlead.Sequential
+	}
+}
+
+// publicAdversary mirrors an internal adversary spec into the public one,
+// field for field (the public type exists so library users can declare
+// the same fault policies the sweeps run).
+func publicAdversary(s adversary.Spec) anonlead.AdversarySpec {
+	return anonlead.AdversarySpec{
+		Loss:          s.Loss,
+		CrashFraction: s.CrashFraction,
+		CrashBy:       s.CrashBy,
+		CrashSchedule: s.CrashSchedule,
+		Churn:         s.Churn,
+		ChurnPreserve: s.ChurnPreserve,
+		DelayProb:     s.DelayProb,
+		MaxDelay:      s.MaxDelay,
+	}
+}
+
+// simMetrics maps the public metrics mirror back onto the simulator type
+// the harness aggregates (lossless: the mirrors are field-for-field).
+func simMetrics(m anonlead.Metrics) sim.Metrics {
+	return sim.Metrics{
+		Rounds:        m.Rounds,
+		ChargedRounds: m.ChargedRounds,
+		Messages:      m.Messages,
+		Bits:          m.Bits,
+		CongestBits:   m.CongestBits,
+		MaxLinkSlots:  m.MaxLinkSlots,
+		MaxChannels:   m.MaxChannels,
+		Dropped:       m.Dropped,
+		Delayed:       m.Delayed,
+		Crashes:       m.Crashed,
+	}
 }
 
 // TrialOpts configures a batch of trials.
@@ -158,15 +227,18 @@ func TrialSeed(root uint64, w Workload, t int) uint64 {
 }
 
 // AdversarySeed derives a trial's fault-injection stream from its trial
-// seed. The labeled split keeps the adversary's randomness disjoint from
-// the machines' (which split from the raw trial seed), so enabling a
-// zero-rate adversary perturbs nothing.
+// seed — the canonical derivation shared with the public Run path, which
+// builds its adversaries with the same function (so harness sweeps and
+// public fault-injected runs are byte-identical).
 func AdversarySeed(trialSeed uint64) uint64 {
-	return rng.New(trialSeed).SplitString("adversary").DeriveSeed(0)
+	return adversary.DeriveRunSeed(trialSeed)
 }
 
-// prepareCell deterministically builds and profiles a workload graph.
-func prepareCell(w Workload, seed uint64) (*graph.Graph, *spectral.Profile, error) {
+// prepareCell deterministically builds and profiles a workload graph and
+// wraps it as a public network (the session object every trial of the
+// cell runs through). The wrap is cheap: the network's own lazy profile
+// is never touched because trials supply every profiled input explicitly.
+func prepareCell(w Workload, seed uint64) (*anonlead.Network, *spectral.Profile, error) {
 	g, err := w.BuildGraph(seed)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: build %s/%d: %w", w.Family, w.N, err)
@@ -175,7 +247,11 @@ func prepareCell(w Workload, seed uint64) (*graph.Graph, *spectral.Profile, erro
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: profile %s/%d: %w", w.Family, w.N, err)
 	}
-	return g, prof, nil
+	anw, err := anonlead.NewNetworkFromGraph(g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: wrap %s/%d: %w", w.Family, w.N, err)
+	}
+	return anw, prof, nil
 }
 
 // reduceCell aggregates a batch of trials, always in slice (= trial index)
@@ -225,13 +301,13 @@ func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) 
 // reference semantics for Orchestrator.RunSweep, which produces
 // bit-identical cells from a worker pool.
 func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
-	g, prof, err := prepareCell(w, opts.Seed)
+	anw, prof, err := prepareCell(w, opts.Seed)
 	if err != nil {
 		return Cell{}, err
 	}
 	trials := make([]Trial, cellTrials(opts))
 	for t := range trials {
-		trial, err := runOne(p, g, prof, opts, TrialSeed(opts.Seed, w, t))
+		trial, err := runOne(p, anw, prof, opts, TrialSeed(opts.Seed, w, t))
 		if err != nil {
 			return Cell{Protocol: p, Workload: w, Profile: prof}, err
 		}
@@ -248,22 +324,19 @@ func cellTrials(opts TrialOpts) int {
 	return opts.Trials
 }
 
-// runOne executes a single trial of protocol p on g.
-func runOne(p Protocol, g *graph.Graph, prof *spectral.Profile, opts TrialOpts, seed uint64) (Trial, error) {
+// runOne executes a single trial of protocol p on the prepared network,
+// resolving the cell's trial options into the shared protocol config the
+// public Run path consumes. Defaults are filled from the cell's profile
+// here (not inside Run) so the per-cell profile is computed exactly once.
+func runOne(p Protocol, anw *anonlead.Network, prof *spectral.Profile, opts TrialOpts, seed uint64) (Trial, error) {
 	// The size the protocol is told; PresumedN misreports it for the
 	// knowledge ablation (topology parameters stay truthful).
-	presumedN := g.N()
+	presumedN := anw.N()
 	if opts.PresumedN > 0 {
 		presumedN = opts.PresumedN
 	}
-	simo := SimOpts{Parallel: opts.Parallel, Scheduler: opts.Scheduler}
-	if opts.Adversary != nil {
-		adv, err := opts.Adversary.Build(g, AdversarySeed(seed))
-		if err != nil {
-			return Trial{}, fmt.Errorf("harness: build adversary: %w", err)
-		}
-		simo.Adversary = adv // nil for a zero-rate spec: no perturbation
-	}
+	simo := SimOpts{Parallel: opts.Parallel, Scheduler: opts.Scheduler, Adversary: opts.Adversary}
+	var pc core.ProtoConfig
 	switch p {
 	case ProtoIRE, ProtoExplicit:
 		cfg := opts.IRE
@@ -274,240 +347,143 @@ func runOne(p Protocol, g *graph.Graph, prof *spectral.Profile, opts TrialOpts, 
 		if cfg.Phi == 0 {
 			cfg.Phi = prof.Conductance
 		}
-		if p == ProtoExplicit {
-			return RunExplicitTrial(g, core.ExplicitConfig{IRE: cfg}, seed, simo)
-		}
-		return RunIRETrial(g, cfg, seed, simo)
+		pc = ireProto(cfg)
 	case ProtoFlood, ProtoAllFlood:
-		cfg := baseline.FloodConfig{N: presumedN, Diam: prof.Diameter, AllNodes: p == ProtoAllFlood}
-		return RunFloodTrial(g, cfg, seed, simo)
+		pc = core.ProtoConfig{N: presumedN, Diam: prof.Diameter, AllNodes: p == ProtoAllFlood}
 	case ProtoWalkNotify:
-		cfg := baseline.WalkNotifyConfig{N: presumedN, TMix: prof.MixingTime}
-		return RunWalkNotifyTrial(g, cfg, seed, simo)
+		pc = core.ProtoConfig{N: presumedN, TMix: prof.MixingTime}
 	case ProtoRevocable:
 		cfg := opts.Revocable
 		if opts.RevocableUseProfileIso && cfg.Isoperimetric == 0 {
 			cfg.Isoperimetric = prof.Isoperim
 		}
-		return RunRevocableTrial(g, cfg, seed, opts.RevocableMaxRounds, simo)
+		pc = revocableProto(cfg, opts.RevocableMaxRounds)
 	default:
 		return Trial{}, fmt.Errorf("harness: unknown protocol %q", p)
 	}
+	return runTrial(anw, string(p), pc, seed, simo)
+}
+
+// ireProto maps an IRE config onto the shared protocol config.
+func ireProto(cfg core.IREConfig) core.ProtoConfig {
+	return core.ProtoConfig{
+		N: cfg.N, TMix: cfg.TMix, Phi: cfg.Phi, C: cfg.C,
+		X: cfg.X, XFactor: cfg.XFactor, MaxID: cfg.MaxID,
+		BroadcastOnly: cfg.BroadcastOnly,
+	}
+}
+
+// revocableProto maps a revocable config onto the shared protocol config.
+func revocableProto(cfg core.RevocableConfig, maxRounds int) core.ProtoConfig {
+	return core.ProtoConfig{
+		Epsilon: cfg.Epsilon, Xi: cfg.Xi, Iso: cfg.Isoperimetric,
+		FMult: cfg.FMult, RMult: cfg.RMult, MaxRounds: maxRounds,
+	}
+}
+
+// runTrial executes one election through the public Run path and folds
+// the unified outcome into a harness Trial.
+func runTrial(anw *anonlead.Network, proto string, pc core.ProtoConfig, seed uint64, o SimOpts) (Trial, error) {
+	ropts := append(o.options(seed), anonlead.WithProtoConfig(pc))
+	out, err := anw.Run(context.Background(), proto, ropts...)
+	if err != nil {
+		if errors.Is(err, anonlead.ErrNotStabilized) && o.faulted() {
+			// Under fault injection a non-converging election is a
+			// measured outcome — it degrades the success rate like any
+			// other fault damage — not a harness error that should abort
+			// the sweep. The partial Outcome still carries the run's cost
+			// accounting.
+			return Trial{Leaders: 0, Success: false, Rounds: out.Rounds,
+				Crashed: out.Metrics.Crashed, Metrics: simMetrics(out.Metrics)}, nil
+		}
+		return Trial{}, fmt.Errorf("harness: %w", err)
+	}
+	return Trial{
+		Leaders: len(out.Leaders),
+		Success: out.Unique && out.AllKnow,
+		Rounds:  out.Rounds,
+		Crashed: out.Metrics.Crashed,
+		Metrics: simMetrics(out.Metrics),
+	}, nil
+}
+
+// wrapGraph adapts a pre-built graph for the standalone trial runners.
+func wrapGraph(g *graph.Graph) (*anonlead.Network, error) {
+	anw, err := anonlead.NewNetworkFromGraph(g)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return anw, nil
 }
 
 // RunIRETrial executes one Irrevocable LE election.
 func RunIRETrial(g *graph.Graph, cfg core.IREConfig, seed uint64, o SimOpts) (Trial, error) {
-	factory, err := core.NewIREFactory(cfg)
+	anw, err := wrapGraph(g)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(o.config(g, seed), factory)
-	defer nw.Close()
-	_, _, _, _, total := nw.Machine(0).(*core.IREMachine).Params()
-	// Jitter can park a packet up to MaxDelay rounds past the schedule.
-	rounds := nw.Run(total + 4 + maxDelay(o))
-	if !nw.AllHalted() {
-		return Trial{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4+maxDelay(o))
-	}
-	leaders := 0
-	for v := 0; v < g.N(); v++ {
-		if !nw.Crashed(v) && nw.Machine(v).(*core.IREMachine).Output().Leader {
-			leaders++
-		}
-	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
-		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
-}
-
-// maxDelay returns the adversary's delivery-jitter bound (0 without one),
-// used to stretch round budgets so late packets can drain.
-func maxDelay(o SimOpts) int {
-	if o.Adversary == nil {
-		return 0
-	}
-	return o.Adversary.MaxDelay()
+	return runTrial(anw, "ire", ireProto(cfg), seed, o)
 }
 
 // IRELeaderNodes runs one IRE election and returns the elected node
 // indices (used by the pumping-wheel experiment).
 func IRELeaderNodes(g *graph.Graph, cfg core.IREConfig, seed uint64, o SimOpts) ([]int, sim.Metrics, error) {
-	factory, err := core.NewIREFactory(cfg)
+	anw, err := wrapGraph(g)
 	if err != nil {
 		return nil, sim.Metrics{}, err
 	}
-	nw := sim.New(o.config(g, seed), factory)
-	defer nw.Close()
-	_, _, _, _, total := nw.Machine(0).(*core.IREMachine).Params()
-	nw.Run(total + 4 + maxDelay(o))
-	if !nw.AllHalted() {
-		return nil, sim.Metrics{}, fmt.Errorf("harness: IRE did not halt in %d rounds", total+4+maxDelay(o))
+	ropts := append(o.options(seed), anonlead.WithProtoConfig(ireProto(cfg)))
+	out, err := anw.Run(context.Background(), "ire", ropts...)
+	if err != nil {
+		return nil, sim.Metrics{}, fmt.Errorf("harness: %w", err)
 	}
-	var leaders []int
-	for v := 0; v < g.N(); v++ {
-		if !nw.Crashed(v) && nw.Machine(v).(*core.IREMachine).Output().Leader {
-			leaders = append(leaders, v)
-		}
-	}
-	return leaders, nw.Metrics(), nil
+	return out.Leaders, simMetrics(out.Metrics), nil
 }
 
 // RunExplicitTrial executes one explicit election (implicit protocol plus
-// announcement flood). Success additionally requires every node to have
-// learned the leader.
+// announcement flood). Success additionally requires every surviving node
+// to have learned the leader.
 func RunExplicitTrial(g *graph.Graph, cfg core.ExplicitConfig, seed uint64, o SimOpts) (Trial, error) {
-	factory, err := core.NewExplicitFactory(cfg)
+	anw, err := wrapGraph(g)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(o.config(g, seed), factory)
-	defer nw.Close()
-	total := nw.Machine(0).(*core.ExplicitMachine).TotalRounds()
-	rounds := nw.Run(total + 4 + maxDelay(o))
-	if !nw.AllHalted() {
-		return Trial{}, fmt.Errorf("harness: explicit protocol did not halt in %d rounds", total+4+maxDelay(o))
-	}
-	leaders, allKnow := 0, true
-	for v := 0; v < g.N(); v++ {
-		if nw.Crashed(v) {
-			continue // only survivors can claim or learn leadership
-		}
-		out := nw.Machine(v).(*core.ExplicitMachine).Output()
-		if out.IRE.Leader {
-			leaders++
-		}
-		if !out.KnowsLeader {
-			allKnow = false
-		}
-	}
-	return Trial{
-		Leaders: leaders,
-		Success: leaders == 1 && allKnow,
-		Rounds:  rounds,
-		Crashed: nw.CrashedCount(),
-		Metrics: nw.Metrics(),
-	}, nil
+	pc := ireProto(cfg.IRE)
+	pc.AnnounceRounds = cfg.AnnounceRounds
+	return runTrial(anw, "explicit", pc, seed, o)
 }
 
 // RunFloodTrial executes one FloodMax election.
 func RunFloodTrial(g *graph.Graph, cfg baseline.FloodConfig, seed uint64, o SimOpts) (Trial, error) {
-	factory, err := baseline.NewFloodFactory(cfg)
+	anw, err := wrapGraph(g)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(o.config(g, seed), factory)
-	defer nw.Close()
-	rounds := nw.Run(cfg.Rounds() + 2 + maxDelay(o))
-	if !nw.AllHalted() {
-		return Trial{}, fmt.Errorf("harness: flood did not halt")
+	pc := core.ProtoConfig{N: cfg.N, Diam: cfg.Diam, C: cfg.C, AllNodes: cfg.AllNodes}
+	proto := "floodmax"
+	if cfg.AllNodes {
+		proto = "allflood"
 	}
-	leaders := 0
-	for v := 0; v < g.N(); v++ {
-		if !nw.Crashed(v) && nw.Machine(v).(*baseline.FloodMachine).Output().Leader {
-			leaders++
-		}
-	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
-		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
+	return runTrial(anw, proto, pc, seed, o)
 }
 
 // RunWalkNotifyTrial executes one Gilbert-class baseline election.
 func RunWalkNotifyTrial(g *graph.Graph, cfg baseline.WalkNotifyConfig, seed uint64, o SimOpts) (Trial, error) {
-	factory, err := baseline.NewWalkNotifyFactory(cfg)
+	anw, err := wrapGraph(g)
 	if err != nil {
 		return Trial{}, err
 	}
-	nw := sim.New(o.config(g, seed), factory)
-	defer nw.Close()
-	rounds := nw.Run(cfg.Rounds() + 2 + maxDelay(o))
-	if !nw.AllHalted() {
-		return Trial{}, fmt.Errorf("harness: walknotify did not halt")
-	}
-	leaders := 0
-	for v := 0; v < g.N(); v++ {
-		if !nw.Crashed(v) && nw.Machine(v).(*baseline.WalkNotifyMachine).Output().Leader {
-			leaders++
-		}
-	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
-		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
+	pc := core.ProtoConfig{N: cfg.N, TMix: cfg.TMix, C: cfg.C, Beta: cfg.Beta}
+	return runTrial(anw, "walknotify", pc, seed, o)
 }
 
 // RunRevocableTrial executes one revocable election until the theory's
 // stability point (all nodes chose, certificates agree, k^{1+ε} > 4n) or
 // maxRounds.
 func RunRevocableTrial(g *graph.Graph, cfg core.RevocableConfig, seed uint64, maxRounds int, o SimOpts) (Trial, error) {
-	factory, err := core.NewRevocableFactory(cfg)
+	anw, err := wrapGraph(g)
 	if err != nil {
 		return Trial{}, err
 	}
-	eps := cfg.Epsilon
-	if eps == 0 {
-		eps = 0.5
-	}
-	if maxRounds <= 0 {
-		maxRounds = 200_000_000
-		if o.Adversary != nil {
-			// Faults can make convergence unreachable (e.g. the would-be
-			// leader crash-stops); the fault-free budget would be an
-			// effective hang, so adversarial runs get a bounded one.
-			maxRounds = 1_000_000
-		}
-	}
-	nw := sim.New(o.config(g, seed), factory)
-	defer nw.Close()
-	// Convergence is evaluated over surviving nodes: a crashed node can
-	// never choose, so including it would run every faulted trial to
-	// maxRounds. The reference (first) output comes from the lowest-index
-	// survivor.
-	converged := func() bool {
-		ref := -1
-		for v := 0; v < g.N(); v++ {
-			if !nw.Crashed(v) {
-				ref = v
-				break
-			}
-		}
-		if ref < 0 {
-			return false // everyone crashed; the run can only time out
-		}
-		first := nw.Machine(ref).(*core.RevocableMachine).Output()
-		if !first.Chosen || first.LeaderK == 0 {
-			return false
-		}
-		if math.Pow(float64(first.EstimateK), 1+eps) <= 4*float64(g.N()) {
-			return false
-		}
-		for v := ref + 1; v < g.N(); v++ {
-			if nw.Crashed(v) {
-				continue
-			}
-			o := nw.Machine(v).(*core.RevocableMachine).Output()
-			if !o.Chosen || o.LeaderK != first.LeaderK || o.LeaderID != first.LeaderID {
-				return false
-			}
-		}
-		return true
-	}
-	rounds := nw.RunUntil(maxRounds, func(completed int) bool {
-		return completed%64 == 0 && converged()
-	})
-	if !converged() {
-		if o.Adversary != nil {
-			// Under fault injection a non-converging election is a
-			// measured outcome — it degrades the success rate like any
-			// other fault damage — not a harness error that should abort
-			// the sweep.
-			return Trial{Leaders: 0, Success: false, Rounds: rounds,
-				Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
-		}
-		return Trial{}, fmt.Errorf("harness: revocable did not converge in %d rounds", rounds)
-	}
-	leaders := 0
-	for v := 0; v < g.N(); v++ {
-		if !nw.Crashed(v) && nw.Machine(v).(*core.RevocableMachine).Output().Leader {
-			leaders++
-		}
-	}
-	return Trial{Leaders: leaders, Success: leaders == 1, Rounds: rounds,
-		Crashed: nw.CrashedCount(), Metrics: nw.Metrics()}, nil
+	return runTrial(anw, "revocable", revocableProto(cfg, maxRounds), seed, o)
 }

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"anonlead/internal/graph"
+	"anonlead"
 	"anonlead/internal/spectral"
 )
 
@@ -41,7 +41,7 @@ type Orchestrator struct {
 
 // cellRun is the in-flight state of one spec during a sweep.
 type cellRun struct {
-	g         *graph.Graph
+	anw       *anonlead.Network
 	prof      *spectral.Profile
 	trials    []Trial
 	remaining atomic.Int32
@@ -91,12 +91,12 @@ func (o Orchestrator) RunSweep(specs []CellSpec) ([]Cell, error) {
 	err := forEach(workers, len(order), func(j int) error {
 		idxs := groups[order[j]]
 		spec := specs[idxs[0]]
-		g, prof, err := prepareCell(spec.Workload, spec.Opts.Seed)
+		anw, prof, err := prepareCell(spec.Workload, spec.Opts.Seed)
 		if err != nil {
 			return fmt.Errorf("spec %d: %w", idxs[0], err)
 		}
 		for _, i := range idxs {
-			runs[i].g, runs[i].prof = g, prof
+			runs[i].anw, runs[i].prof = anw, prof
 			runs[i].trials = make([]Trial, cellTrials(specs[i].Opts))
 		}
 		return nil
@@ -131,7 +131,7 @@ func (o Orchestrator) RunSweep(specs []CellSpec) ([]Cell, error) {
 		spec := specs[sh.cell]
 		run := &runs[sh.cell]
 		for t := sh.lo; t < sh.hi; t++ {
-			trial, err := runOne(spec.Protocol, run.g, run.prof, spec.Opts,
+			trial, err := runOne(spec.Protocol, run.anw, run.prof, spec.Opts,
 				TrialSeed(spec.Opts.Seed, spec.Workload, t))
 			if err != nil {
 				return fmt.Errorf("spec %d (%s on %s/%d) trial %d: %w",

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,23 @@ type Config struct {
 	// Nil costs nothing on the hot path. See the Adversary interface and
 	// internal/adversary for deterministic, seed-derived implementations.
 	Adversary Adversary
+	// Observer, when non-nil, is invoked from the single-threaded
+	// coordination path after every executed round with a snapshot of the
+	// accumulated cost accounting. Nil costs nothing. Observers are
+	// read-only taps: nothing they do flows back into the simulation.
+	Observer func(RoundInfo)
+}
+
+// RoundInfo is the per-round snapshot handed to a configured Observer.
+type RoundInfo struct {
+	// Round is the index of the round just executed (0-based; the Init
+	// pseudo-round is not observed).
+	Round int
+	// Halted is the number of nodes stopped so far (protocol halts and
+	// adversary crash-stops combined).
+	Halted int
+	// Metrics is the cumulative cost accounting after this round.
+	Metrics Metrics
 }
 
 // Network is a running simulation: one Machine per node plus double-buffered
@@ -55,6 +73,7 @@ type Network struct {
 	workers   int
 	inflight  int
 	actors    *actorPool
+	observer  func(RoundInfo)
 	// Link accounting: per directed edge, a chain of per-channel bit loads
 	// accumulated within one round. linkHead[e] indexes the first load of
 	// edge e in loads (valid only when linkEpoch[e] == routeEpoch); loads
@@ -128,6 +147,7 @@ func New(cfg Config, factory Factory) *Network {
 		edgeOff:   make([]int, n+1),
 		scheduler: scheduler,
 		workers:   workers,
+		observer:  cfg.Observer,
 	}
 	nw.metrics.CongestBits = budget
 
@@ -228,7 +248,21 @@ func (nw *Network) Step() bool {
 	nw.route(round)
 	nw.metrics.Rounds++
 	nw.finishRoundAccounting(true)
+	if nw.observer != nil {
+		nw.observer(RoundInfo{Round: round, Halted: nw.haltedCount(), Metrics: nw.metrics})
+	}
 	return true
+}
+
+// haltedCount returns the number of stopped nodes (halts and crashes).
+func (nw *Network) haltedCount() int {
+	count := 0
+	for _, h := range nw.halted {
+		if h {
+			count++
+		}
+	}
+	return count
 }
 
 // Run executes up to rounds rounds, stopping early on global halt. It
@@ -239,6 +273,24 @@ func (nw *Network) Run(rounds int) int {
 		executed++
 	}
 	return executed
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between rounds, and a cancellation stops the simulation cleanly (the
+// accumulated metrics remain valid). It returns the number of rounds
+// executed and the context's error if it caused the stop.
+func (nw *Network) RunContext(ctx context.Context, rounds int) (int, error) {
+	executed := 0
+	for executed < rounds {
+		if err := ctx.Err(); err != nil {
+			return executed, err
+		}
+		if !nw.Step() {
+			break
+		}
+		executed++
+	}
+	return executed, nil
 }
 
 // RunUntil executes rounds until done(round) reports true or maxRounds is
@@ -253,6 +305,25 @@ func (nw *Network) RunUntil(maxRounds int, done func(completed int) bool) int {
 		}
 	}
 	return executed
+}
+
+// RunUntilContext is RunUntil with cooperative cancellation between rounds
+// (see RunContext).
+func (nw *Network) RunUntilContext(ctx context.Context, maxRounds int, done func(completed int) bool) (int, error) {
+	executed := 0
+	for executed < maxRounds {
+		if err := ctx.Err(); err != nil {
+			return executed, err
+		}
+		if !nw.Step() {
+			break
+		}
+		executed++
+		if done(executed) {
+			break
+		}
+	}
+	return executed, nil
 }
 
 // stepNode runs one node's step for the round. It touches only node v's

@@ -1,23 +1,20 @@
 package anonlead
 
-import "math"
+import "anonlead/internal/core"
 
 // options aggregates all election tunables; zero values select the
-// defaults documented on the With* constructors.
+// defaults documented on the With* constructors. The protocol scalars
+// live in one shared core.ProtoConfig, the configuration currency the
+// registry consumes — Run overlays the network's profiled quantities onto
+// whatever the options left at zero, which is the single default-filling
+// path every protocol (and every Elect* wrapper) goes through.
 type options struct {
-	seed          uint64
-	parallel      bool
-	constant      float64
-	walks         int
-	walkFactor    float64
-	mixingTime    int
-	conductance   float64
-	epsilon       float64
-	xi            float64
-	isoperimetric float64
-	fMult         float64
-	rMult         float64
-	maxRounds     int
+	seed      uint64
+	parallel  bool
+	scheduler Scheduler
+	adversary *AdversarySpec
+	observer  func(RoundInfo)
+	proto     core.ProtoConfig
 }
 
 // Option customizes an election. Options are applied in order; later
@@ -38,59 +35,110 @@ func WithSeed(seed uint64) Option {
 	return func(o *options) { o.seed = seed }
 }
 
-// WithParallel runs node steps on a goroutine worker pool. Results are
-// bit-identical to the sequential scheduler.
+// WithParallel runs node steps on a goroutine worker pool, a shorthand
+// for WithScheduler(WorkerPool). Results are bit-identical to the
+// sequential scheduler.
 func WithParallel(parallel bool) Option {
 	return func(o *options) { o.parallel = parallel }
 }
 
-// WithConstant sets the analysis constant c scaling candidate rate, walk
-// length and broadcast length in Elect (paper Section 4, "sufficiently
-// large c"). Default 2.
-func WithConstant(c float64) Option {
-	return func(o *options) { o.constant = c }
+// WithScheduler selects the execution engine (Sequential, WorkerPool or
+// Actors). All engines produce bit-identical results; the choice is a
+// throughput knob. Default Sequential.
+func WithScheduler(s Scheduler) Option {
+	return func(o *options) { o.scheduler = s }
 }
 
-// WithWalks overrides the number x of random walks per candidate in Elect.
-// Default: the paper's x = √(n·log n/(Φ·tmix)).
+// WithAdversary injects deterministic faults into the run as described by
+// the spec (message loss, crash-stop, link churn, delivery jitter — see
+// AdversarySpec). The adversary's random streams are split from the run
+// seed under a dedicated label, so the protocol machines' randomness is
+// untouched and a zero spec is byte-identical to no adversary at all.
+func WithAdversary(spec AdversarySpec) Option {
+	return func(o *options) { o.adversary = &spec }
+}
+
+// WithObserver streams per-round cost metrics to fn while the election
+// runs: fn is invoked after every executed round from the simulator's
+// single-threaded coordination path (so it needs no locking, but it also
+// delays the round — keep it cheap). Observation is read-only: nothing fn
+// does flows back into the election.
+func WithObserver(fn func(RoundInfo)) Option {
+	return func(o *options) { o.observer = fn }
+}
+
+// WithPresumedN misreports the network size to the protocol: the topology
+// keeps its true size, only the size the nodes are told changes. This is
+// the knowledge ablation of Dieudonné & Pelc ("Impact of Knowledge on
+// Election Time in Anonymous Networks") — election degrades as presumed n
+// drifts from the truth. Protocols that estimate n themselves (revocable)
+// ignore it. Default: the true size.
+func WithPresumedN(n int) Option {
+	return func(o *options) { o.proto.N = n }
+}
+
+// WithConstant sets the analysis constant c scaling candidate rate, walk
+// length and broadcast length (paper Section 4, "sufficiently large c")
+// for every protocol that samples candidates. Default 2.
+func WithConstant(c float64) Option {
+	return func(o *options) { o.proto.C = c }
+}
+
+// WithWalks overrides the number x of random walks per candidate in the
+// ire/explicit protocols. Default: the paper's x = √(n·log n/(Φ·tmix)).
 func WithWalks(x int) Option {
-	return func(o *options) { o.walks = x }
+	return func(o *options) { o.proto.X = x }
 }
 
 // WithWalkFactor scales the automatic walk count (ignored after
 // WithWalks). Default 1.
 func WithWalkFactor(f float64) Option {
-	return func(o *options) { o.walkFactor = f }
+	return func(o *options) { o.proto.XFactor = f }
 }
 
-// WithMixingTime overrides the mixing-time input of Elect (the paper
-// needs only a linear upper bound). Default: the network's profiled tmix.
+// WithMixingTime overrides the mixing-time input of the ire, explicit and
+// walknotify protocols (the paper needs only a linear upper bound).
+// Default: the network's profiled tmix.
 func WithMixingTime(t int) Option {
-	return func(o *options) { o.mixingTime = t }
+	return func(o *options) { o.proto.TMix = t }
 }
 
-// WithConductance overrides the conductance input of Elect. Default: the
-// network's profiled Φ.
+// WithConductance overrides the conductance input of the ire and explicit
+// protocols. Default: the network's profiled Φ.
 func WithConductance(phi float64) Option {
-	return func(o *options) { o.conductance = phi }
+	return func(o *options) { o.proto.Phi = phi }
 }
 
-// WithEpsilon sets the paper's ε ∈ (0,1] for ElectRevocable. Default 0.5.
+// WithDiameter overrides the diameter bound the floodmax baselines flood
+// for. Default: the network's profiled exact diameter.
+func WithDiameter(d int) Option {
+	return func(o *options) { o.proto.Diam = d }
+}
+
+// WithIDSpace overrides the candidate ID space: IDs are drawn uniformly
+// from [1, maxID]. Default n⁴ (collision probability ≤ 1/n² by the
+// paper's birthday argument).
+func WithIDSpace(maxID uint64) Option {
+	return func(o *options) { o.proto.MaxID = maxID }
+}
+
+// WithEpsilon sets the paper's ε ∈ (0,1] for the revocable protocol.
+// Default 0.5.
 func WithEpsilon(eps float64) Option {
-	return func(o *options) { o.epsilon = eps }
+	return func(o *options) { o.proto.Epsilon = eps }
 }
 
-// WithXi sets the paper's error parameter ξ ∈ (0,1) in f(k) for
-// ElectRevocable. Default 0.5.
+// WithXi sets the paper's error parameter ξ ∈ (0,1) in f(k) for the
+// revocable protocol. Default 0.5.
 func WithXi(xi float64) Option {
-	return func(o *options) { o.xi = xi }
+	return func(o *options) { o.proto.Xi = xi }
 }
 
-// WithIsoperimetric provides a known lower bound on i(G) to
-// ElectRevocable, selecting the Theorem 3 diffusion schedule instead of
-// the fully blind Corollary 1 schedule.
+// WithIsoperimetric provides a known lower bound on i(G) to the revocable
+// protocol, selecting the Theorem 3 diffusion schedule instead of the
+// fully blind Corollary 1 schedule.
 func WithIsoperimetric(iso float64) Option {
-	return func(o *options) { o.isoperimetric = iso }
+	return func(o *options) { o.proto.Iso = iso }
 }
 
 // WithCalibration scales the revocable protocol's certification count f(k)
@@ -98,14 +146,23 @@ func WithIsoperimetric(iso float64) Option {
 // (see EXPERIMENTS.md) keep success rates while making larger networks
 // simulable.
 func WithCalibration(fMult, rMult float64) Option {
-	return func(o *options) { o.fMult, o.rMult = fMult, rMult }
+	return func(o *options) { o.proto.FMult, o.proto.RMult = fMult, rMult }
 }
 
-// WithMaxRounds caps the rounds ElectRevocable will simulate before
-// reporting a stabilization failure. Default 2e8.
+// WithMaxRounds caps the rounds an open-ended (revocable) election will
+// simulate before reporting ErrNotStabilized. Default 2e8 fault-free,
+// 1e6 under an adversary (faults can make convergence unreachable).
 func WithMaxRounds(rounds int) Option {
-	return func(o *options) { o.maxRounds = rounds }
+	return func(o *options) { o.proto.MaxRounds = rounds }
 }
 
-// pow1e returns x^(1+eps), shared by the stabilization predicate.
-func pow1e(x, eps float64) float64 { return math.Pow(x, 1+eps) }
+// WithProtoConfig overlays a fully resolved protocol configuration
+// wholesale, replacing every protocol scalar set by earlier options. Its
+// parameter type lives in an internal package, so it is callable only
+// from inside this module: the experiment harness uses it to drive the
+// public Run path with exact per-trial inputs (which is what keeps the
+// published bench artifacts byte-identical to the pre-registry sweeps).
+// External callers compose the individual With* options instead.
+func WithProtoConfig(pc core.ProtoConfig) Option {
+	return func(o *options) { o.proto = pc }
+}

@@ -19,6 +19,17 @@ type Result struct {
 	Messages int64
 	// Bits is the total number of payload bits sent.
 	Bits int64
+	// Dropped counts packets destroyed by a WithAdversary fault policy
+	// (loss or link churn). Dropped packets still count in Messages, Bits
+	// and CONGEST charging: the sender transmitted them. Always 0 on
+	// fault-free runs.
+	Dropped int64
+	// Delayed counts packets the adversary deferred past their normal
+	// next-round delivery. Always 0 on fault-free runs.
+	Delayed int64
+	// Crashed counts nodes crash-stopped by the adversary. Crashed nodes
+	// are excluded from Leaders. Always 0 on fault-free runs.
+	Crashed int
 }
 
 // LeaderCount returns the number of elected leaders.
@@ -65,9 +76,14 @@ type RevocableResult struct {
 	FinalEstimate uint64
 }
 
-// fillMetrics copies simulator accounting into a Result.
+// fillMetrics copies simulator accounting into a Result, including the
+// fault counters, so fault-injected public runs are observable without
+// the experiment harness.
 func fillMetrics(r *Result, m sim.Metrics) {
 	r.ChargedRounds = m.ChargedRounds
 	r.Messages = m.Messages
 	r.Bits = m.Bits
+	r.Dropped = m.Dropped
+	r.Delayed = m.Delayed
+	r.Crashed = m.Crashes
 }

@@ -1,0 +1,370 @@
+package anonlead
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"anonlead/internal/adversary"
+	"anonlead/internal/baseline"
+	"anonlead/internal/core"
+	"anonlead/internal/sim"
+)
+
+func TestProtocolsRegistry(t *testing.T) {
+	want := []string{ProtoIRE, ProtoExplicit, ProtoRevocable, ProtoFloodMax, ProtoAllFlood, ProtoWalkNotify}
+	if got := Protocols(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Protocols() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		if ProtocolInfo(name) == "" {
+			t.Fatalf("protocol %q has no description", name)
+		}
+	}
+	nw, err := NewNetwork("complete", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(context.Background(), "nosuch"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	// The legacy alias resolves to the canonical name.
+	out, err := nw.Run(context.Background(), "flood", WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Protocol != ProtoFloodMax {
+		t.Fatalf("alias resolved to %q, want %q", out.Protocol, ProtoFloodMax)
+	}
+}
+
+// TestWrappersPinnedToRun pins the deprecated Elect* wrappers byte-for-byte
+// against the unified Run path they delegate to.
+func TestWrappersPinnedToRun(t *testing.T) {
+	nw, err := NewNetwork("torus", 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, err := nw.Elect(WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := nw.Run(ctx, ProtoIRE, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, out.Result) {
+		t.Fatalf("Elect diverged from Run:\n%+v\n%+v", res, out.Result)
+	}
+
+	eres, err := nw.ElectExplicit(WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eout, err := nw.Run(ctx, ProtoExplicit, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExplicitResult{Result: eout.Result, LeaderID: eout.LeaderID,
+		AllKnow: eout.AllKnow, Parents: eout.Parents, Depths: eout.Depths}
+	if !reflect.DeepEqual(eres, want) {
+		t.Fatalf("ElectExplicit diverged from Run:\n%+v\n%+v", eres, want)
+	}
+
+	small, err := NewNetwork("complete", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := small.Stats().Isoperimetric
+	rres, err := small.ElectRevocable(WithSeed(2), WithIsoperimetric(iso))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rout, err := small.Run(ctx, ProtoRevocable, WithSeed(2), WithIsoperimetric(iso))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rwant := RevocableResult{Result: rout.Result, Certificate: *rout.Certificate,
+		FinalEstimate: rout.FinalEstimate}
+	if !reflect.DeepEqual(rres, rwant) {
+		t.Fatalf("ElectRevocable diverged from Run:\n%+v\n%+v", rres, rwant)
+	}
+}
+
+// TestRunFaultInjectionMatchesInternal pins the public fault-injected Run
+// path byte-for-byte against an independently assembled internal run: same
+// graph, same internal/adversary spec built with the canonical seed
+// derivation, same factory driven directly on the simulator.
+func TestRunFaultInjectionMatchesInternal(t *testing.T) {
+	nw, err := NewNetwork("expander", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AdversarySpec{Loss: 0.15, CrashFraction: 0.2, CrashBy: 4}
+	const seed = 11
+
+	out, err := nw.Run(context.Background(), ProtoFloodMax, WithSeed(seed), WithAdversary(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent reference path (the pre-registry harness code shape).
+	ispec := adversary.Spec{Loss: 0.15, CrashFraction: 0.2, CrashBy: 4}
+	adv, err := ispec.Build(nw.g, adversary.DeriveRunSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := nw.profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := core.Lookup(ProtoFloodMax)
+	runner, err := entry.Build(core.ProtoConfig{
+		TrueN: nw.N(), N: nw.N(), Diam: prof.Diameter,
+		MaxDelay: adv.MaxDelay(), Faulted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sim.New(sim.Config{Graph: nw.g, Seed: seed, Adversary: adv}, runner.Factory)
+	defer ref.Close()
+	rounds := ref.Run(runner.Budget)
+	if !ref.AllHalted() {
+		t.Fatal("reference run did not halt")
+	}
+	m := ref.Metrics()
+	if out.Rounds != rounds || out.Messages != m.Messages || out.Bits != m.Bits ||
+		out.Dropped != m.Dropped || out.Crashed != m.Crashes ||
+		out.ChargedRounds != m.ChargedRounds {
+		t.Fatalf("public fault-injected run diverged from internal reference:\npublic  %+v\nrounds=%d metrics=%+v", out.Result, rounds, m)
+	}
+	var leaders []int
+	for v := 0; v < nw.N(); v++ {
+		if !ref.Crashed(v) && ref.Machine(v).(*baseline.FloodMachine).Output().Leader {
+			leaders = append(leaders, v)
+		}
+	}
+	if !reflect.DeepEqual(out.Leaders, leaders) {
+		t.Fatalf("leader sets diverged: public %v, internal %v", out.Leaders, leaders)
+	}
+}
+
+// TestZeroAdversaryByteIdentical: a zero-rate adversary spec builds to no
+// adversary at all, so the outcome is byte-identical to a plain run.
+func TestZeroAdversaryByteIdentical(t *testing.T) {
+	nw, err := NewNetwork("expander", 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	plain, err := nw.Run(ctx, ProtoIRE, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := nw.Run(ctx, ProtoIRE, WithSeed(5), WithAdversary(AdversarySpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, zero) {
+		t.Fatalf("zero adversary perturbed the run:\n%+v\n%+v", plain.Result, zero.Result)
+	}
+}
+
+// TestRunSchedulersByteIdentical sweeps all three public schedulers.
+func TestRunSchedulersByteIdentical(t *testing.T) {
+	nw, err := NewNetwork("torus", 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ref, err := nw.Run(ctx, ProtoIRE, WithSeed(4), WithScheduler(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{WorkerPool, Actors} {
+		got, err := nw.Run(ctx, ProtoIRE, WithSeed(4), WithScheduler(s))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("scheduler %v diverged from sequential", s)
+		}
+	}
+}
+
+// TestRunObserver checks that the observer sees every executed round with
+// monotone cumulative metrics ending at the final accounting.
+func TestRunObserver(t *testing.T) {
+	nw, err := NewNetwork("complete", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int
+	var last Metrics
+	out, err := nw.Run(context.Background(), ProtoFloodMax, WithSeed(2),
+		WithObserver(func(ri RoundInfo) {
+			rounds = append(rounds, ri.Round)
+			if ri.Metrics.Messages < last.Messages {
+				t.Errorf("messages regressed at round %d", ri.Round)
+			}
+			last = ri.Metrics
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != out.Rounds {
+		t.Fatalf("observed %d rounds, ran %d", len(rounds), out.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("round sequence broken at %d: %v", i, rounds)
+		}
+	}
+	if last != out.Metrics {
+		t.Fatalf("final observation %+v != outcome metrics %+v", last, out.Metrics)
+	}
+}
+
+// TestRunContextCancel: a cancelled context stops the run between rounds
+// with the context error surfaced and partial accounting preserved.
+func TestRunContextCancel(t *testing.T) {
+	nw, err := NewNetwork("complete", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := nw.Run(ctx, ProtoIRE, WithSeed(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if out.Rounds != 0 {
+		t.Fatalf("pre-cancelled run executed %d rounds", out.Rounds)
+	}
+
+	// Cancel mid-run via the observer's side channel.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	fired := 0
+	out2, err := nw.Run(ctx2, ProtoIRE, WithSeed(1), WithObserver(func(RoundInfo) {
+		fired++
+		if fired == 3 {
+			cancel2()
+		}
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled mid-run, got %v", err)
+	}
+	if out2.Rounds != 3 {
+		t.Fatalf("expected stop after 3 rounds, got %d", out2.Rounds)
+	}
+	if out2.Messages == 0 {
+		t.Fatal("partial outcome lost its accounting")
+	}
+}
+
+// TestWithPresumedN: misreporting the size changes the protocol's work on
+// the same topology (the knowledge ablation as a first-class option).
+func TestWithPresumedN(t *testing.T) {
+	nw, err := NewNetwork("expander", 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	truth, err := nw.Run(ctx, ProtoIRE, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := nw.Run(ctx, ProtoIRE, WithSeed(6), WithPresumedN(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Rounds == skewed.Rounds && truth.Messages == skewed.Messages {
+		t.Fatal("presumed size had no observable effect")
+	}
+}
+
+// TestAdversarySpecParity guards the public mirror against drifting from
+// the internal spec: descriptors and zero/validation semantics must agree.
+func TestAdversarySpecParity(t *testing.T) {
+	specs := []AdversarySpec{
+		{},
+		{Loss: 0.1},
+		{CrashFraction: 0.25, CrashBy: 16},
+		{Churn: 0.05, ChurnPreserve: true},
+		{DelayProb: 0.5, MaxDelay: 3},
+		{Loss: 0.1, CrashFraction: 0.25, CrashBy: 16, Churn: 0.05, DelayProb: 0.5, MaxDelay: 3},
+	}
+	for _, s := range specs {
+		if got, want := s.Descriptor(), s.internal().Descriptor(); got != want {
+			t.Fatalf("descriptor mismatch: %q vs %q", got, want)
+		}
+		if s.IsZero() != s.internal().IsZero() {
+			t.Fatalf("IsZero mismatch for %+v", s)
+		}
+	}
+	if err := (AdversarySpec{Loss: 2}).Validate(); err == nil {
+		t.Fatal("invalid loss accepted")
+	}
+	// The mirrors must stay field-for-field identical: a new internal
+	// field without a public counterpart would silently break conversion.
+	pub := reflect.TypeOf(AdversarySpec{})
+	internal := reflect.TypeOf(adversary.Spec{})
+	if pub.NumField() != internal.NumField() {
+		t.Fatalf("AdversarySpec has %d fields, internal spec %d — update the mirror",
+			pub.NumField(), internal.NumField())
+	}
+	for i := 0; i < pub.NumField(); i++ {
+		if pub.Field(i).Name != internal.Field(i).Name {
+			t.Fatalf("field %d name mismatch: %s vs %s", i, pub.Field(i).Name, internal.Field(i).Name)
+		}
+	}
+}
+
+// TestMetricsMirrorParity guards the sim.Metrics <-> anonlead.Metrics
+// mirror pair against drift: every simulator counter, set to a distinct
+// sentinel, must survive the public round-trip used by the harness. A
+// counter added to sim.Metrics without updating metricsFromSim (and the
+// harness's inverse) would silently read as zero in every bench artifact.
+func TestMetricsMirrorParity(t *testing.T) {
+	simT := reflect.TypeOf(sim.Metrics{})
+	pubT := reflect.TypeOf(Metrics{})
+	if simT.NumField() != pubT.NumField() {
+		t.Fatalf("sim.Metrics has %d fields, public Metrics %d — update the mirror",
+			simT.NumField(), pubT.NumField())
+	}
+	var m sim.Metrics
+	mv := reflect.ValueOf(&m).Elem()
+	for i := 0; i < mv.NumField(); i++ {
+		mv.Field(i).SetInt(int64(i + 1)) // distinct nonzero sentinels
+	}
+	pub := metricsFromSim(m)
+	pv := reflect.ValueOf(pub)
+	seen := map[int64]bool{}
+	for i := 0; i < pv.NumField(); i++ {
+		v := pv.Field(i).Int()
+		if v == 0 || seen[v] {
+			t.Fatalf("public Metrics field %s lost or duplicated its sentinel (%d): %+v",
+				pubT.Field(i).Name, v, pub)
+		}
+		seen[v] = true
+	}
+}
+
+// TestRevocableNotStabilized: the sentinel error carries partial metrics.
+func TestRevocableNotStabilized(t *testing.T) {
+	nw, err := NewNetwork("complete", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := nw.Run(context.Background(), ProtoRevocable, WithSeed(1), WithMaxRounds(10))
+	if !errors.Is(err, ErrNotStabilized) {
+		t.Fatalf("expected ErrNotStabilized, got %v", err)
+	}
+	if out.Rounds == 0 || out.Messages == 0 {
+		t.Fatalf("partial outcome missing accounting: %+v", out.Result)
+	}
+}
