@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench faults-smoke bench-artifact benchdiff baseline lint fmt ci clean
+.PHONY: all build test race bench faults-smoke bench-artifact benchdiff report baseline lint fmt ci clean
 
 all: build
 
@@ -47,10 +47,19 @@ bench-artifact:
 benchdiff: bench-artifact
 	$(GO) run ./cmd/benchdiff -base testdata/BENCH_baseline.json -head BENCH_harness.json -fail-on regressed,removed
 
+# Render the paper-style reproduction report from a fresh gate sweep
+# (see README "Reading the results"). REPORT.md is a local artifact; the
+# committed reference render lives at testdata/REPORT_baseline.md.
+report: bench-artifact
+	$(GO) run ./cmd/lereport -out REPORT.md BENCH_harness.json
+
 # Refresh the committed baseline after an intentional perf/complexity
-# change (see README "Refreshing the baseline"); commit the result.
+# change (see README "Refreshing the baseline"); commit both files. The
+# report render is regenerated alongside so the golden tests stay in sync.
 baseline:
 	$(GO) run ./cmd/lebench -exp sweeps -quick -parallel -json testdata/BENCH_baseline.json
+	$(GO) run ./cmd/lereport -title "anonlead reproduction report — baseline" \
+		-out testdata/REPORT_baseline.md testdata/BENCH_baseline.json
 
 lint:
 	$(GO) vet ./...
@@ -64,5 +73,5 @@ fmt:
 ci: build lint test race bench
 
 clean:
-	rm -f BENCH_harness.json
+	rm -f BENCH_harness.json REPORT.md
 	$(GO) clean -testcache

@@ -50,6 +50,24 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff -base BASE.json -head HEAD.json [flags]\n\n"+
+			"Aligns the sweep cells of two bench artifacts by (protocol, family, n,\n"+
+			"presumed_n, adversary) and classifies every metric improved/unchanged/\n"+
+			"regressed with variance-aware thresholds: an effect must clear both -rel-tol\n"+
+			"and -sigmas Welch standard errors (success rates compare by Wilson-interval\n"+
+			"disjointness). Measured/predicted ratios (msgs_vs_pred, time_vs_pred) gate\n"+
+			"separately: a ratio moving more than -drift-tol relative to its baseline is\n"+
+			"flagged drifted. The markdown summary goes to stdout; -format csv instead\n"+
+			"emits one row per (cell, metric) plus added/removed coverage rows.\n"+
+			"-fail-on turns verdicts into exit status 1; CI runs \"regressed,removed\".\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nExamples:\n"+
+			"  benchdiff -base testdata/BENCH_baseline.json -head BENCH_harness.json\n"+
+			"  benchdiff -base old.json -head new.json -fail-on regressed,removed,drift\n"+
+			"  benchdiff -base old.json -head new.json -drift-tol 0.5 -json report.json\n"+
+			"  benchdiff -base old.json -head new.json -format csv > cells.csv\n")
+	}
 	var (
 		base     = fs.String("base", "", "baseline artifact (e.g. testdata/BENCH_baseline.json)")
 		head     = fs.String("head", "", "candidate artifact (e.g. BENCH_harness.json)")

@@ -172,6 +172,25 @@ func TestBenchdiffUsageErrors(t *testing.T) {
 	}
 }
 
+// TestBenchdiffUsageDocumentsGates: -h explains every gate and format so
+// the CLI is self-documenting (not just the README/ROADMAP prose).
+func TestBenchdiffUsageDocumentsGates(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 2 {
+		t.Fatalf("-h exit %d", code)
+	}
+	usage := errOut.String()
+	for _, want := range []string{
+		"-fail-on", "regressed", "removed", "drift",
+		"-drift-tol", "msgs_vs_pred", "-format csv", "-rel-tol", "-sigmas",
+		"Wilson", "Welch",
+	} {
+		if !strings.Contains(usage, want) {
+			t.Fatalf("usage missing %q:\n%s", want, usage)
+		}
+	}
+}
+
 // TestBenchdiffCSVFormat: -format csv emits one parseable row per aligned
 // (cell, metric) with the identity columns leading.
 func TestBenchdiffCSVFormat(t *testing.T) {

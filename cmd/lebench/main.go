@@ -9,7 +9,7 @@
 //	lebench -exp figures           # pumping-wheel split-brain series
 //	lebench -exp ablations         # X1-X4 design ablations
 //	lebench -exp knowledge         # X4 knowledge ablation only
-//	lebench -exp faults            # F1-F4 fault-injection resilience curves
+//	lebench -exp faults            # F1-F5 fault-injection resilience curves
 //	lebench -exp sweeps            # table1 + knowledge + faults (the artifact cells)
 //	lebench -exp all -quick        # everything, reduced sweep
 //	lebench -exp table1 -parallel  # fan cells/trials over all CPUs
@@ -313,12 +313,13 @@ func ablations(s *session) error {
 	return knowledge(s)
 }
 
-// faults regenerates the F1-F4 fault-injection resilience curves: each
+// faults regenerates the F1-F5 fault-injection resilience curves: each
 // sweep perturbs one protocol on one family with an escalating adversary
-// ladder (message loss, crash-stop, link churn, delivery jitter) and
-// charts success/cost degradation against the fault-free anchor. The
-// quick matrix is part of the artifact cells CI's bench-gate diffs, so
-// resilience regressions gate like any other metric.
+// ladder (message loss, crash-stop, link churn, delivery jitter, and the
+// F5 crash-stop ladder against revocable LE with survivor-judged
+// convergence) and charts success/cost degradation against the
+// fault-free anchor. The quick matrix is part of the artifact cells CI's
+// bench-gate diffs, so resilience regressions gate like any other metric.
 func faults(s *session) error {
 	trials := pickTrials(s.trials, 10)
 	if s.quick {

@@ -1,0 +1,120 @@
+// Command lereport renders a bench artifact (or an ordered series of
+// them) as a paper-style reproduction report: Table-1-shaped measured vs
+// predicted tables per protocol×family, the Dieudonné–Pelc knowledge
+// ablation, fault-degradation ladders anchored at their fault-free
+// cells, Wilson success intervals throughout, and — given two or more
+// artifacts — per-metric trend classification (improving/flat/
+// regressing) across the series using the trajectory package's
+// variance-aware Welch gates.
+//
+// Usage:
+//
+//	lereport BENCH_harness.json                      # report on stdout
+//	lereport -out REPORT.md BENCH_harness.json       # write to a file
+//	lereport -format csv BENCH_harness.json          # tidy per-(cell,metric) rows
+//	lereport old.json mid.json new.json              # series: newest reported + trends
+//	lereport -rel-tol 0.1 -sigmas 2 a.json b.json    # looser trend thresholds
+//
+// Arguments are artifact files in chronological order, oldest first. With
+// one artifact the report has no trend section; with two or more, the
+// report describes the newest artifact and appends the trajectory
+// section (cells must be present at every series point to be classified;
+// the rest are listed as partial). v1/v2/v3 artifact schemas are all
+// accepted, with v1 cells classifying on the relative tolerance alone.
+//
+// Output is byte-deterministic for the same inputs — the committed
+// testdata/REPORT_baseline.md is the golden render of
+// testdata/BENCH_baseline.json (refresh both together: make baseline).
+// CI renders the head sweep's report into the job summary and archives
+// it per run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"anonlead/internal/harness"
+	"anonlead/internal/report"
+	"anonlead/internal/trajectory"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lereport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		format  = fs.String("format", "md", "output format: md (paper-style markdown) or csv (one row per cell metric)")
+		outPath = fs.String("out", "", "write the report here instead of stdout")
+		title   = fs.String("title", "", "report title (default \"Reproduction report\")")
+		relTol  = fs.Float64("rel-tol", 0, "series trend: minimum relative effect to call a change (0 = default 0.05)")
+		sigmas  = fs.Float64("sigmas", 0, "series trend: minimum effect in Welch standard errors (0 = default 3)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lereport [flags] artifact.json [older.json ... newest.json]\n\n"+
+			"Renders a paper-style reproduction report from one bench artifact, or from an\n"+
+			"ordered series (oldest first): the newest artifact is reported and a per-metric\n"+
+			"trend section (improving/flat/regressing) is appended.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "lereport: at least one artifact file is required")
+		fs.Usage()
+		return 2
+	}
+	if *format != "md" && *format != "csv" {
+		fmt.Fprintf(stderr, "lereport: unknown -format %q (want md or csv)\n", *format)
+		return 2
+	}
+	opts := report.Options{
+		Title: *title,
+		Trend: trajectory.Thresholds{RelTol: *relTol, Sigmas: *sigmas},
+	}
+
+	var rep report.Report
+	if len(paths) == 1 {
+		a, err := harness.ReadArtifactFile(paths[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "lereport:", err)
+			return 2
+		}
+		rep = report.New(a, opts)
+	} else {
+		series, err := trajectory.LoadSeries(paths...)
+		if err != nil {
+			fmt.Fprintln(stderr, "lereport:", err)
+			return 2
+		}
+		rep = report.NewSeries(series, opts)
+	}
+
+	var out string
+	if *format == "csv" {
+		var err error
+		if out, err = rep.CSV(); err != nil {
+			fmt.Fprintln(stderr, "lereport:", err)
+			return 2
+		}
+	} else {
+		out = rep.Markdown()
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(out), 0o644); err != nil {
+			fmt.Fprintln(stderr, "lereport: write report:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *outPath)
+		return 0
+	}
+	fmt.Fprint(stdout, out)
+	return 0
+}

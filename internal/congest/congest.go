@@ -6,6 +6,8 @@
 // the helpers here to declare honest sizes, and their tests round-trip
 // payloads through BitWriter/BitReader to prove the declared sizes are
 // achievable encodings, not wishes.
+//
+// See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package congest
 
 import (

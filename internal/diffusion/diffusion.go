@@ -13,6 +13,8 @@
 // The package provides an exact (numerical) evolution used by analysis
 // tooling and tests — the protocol machines in internal/core implement the
 // same update distributedly; the ablation experiments cross-check the two.
+//
+// See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package diffusion
 
 import (

@@ -16,6 +16,11 @@ type FaultSweep struct {
 	Protocol Protocol
 	Workload Workload
 	Specs    []adversary.Spec
+	// Opts is the trial-option template every cell of the sweep starts
+	// from (protocol tunables like the revocable schedule or a round cap
+	// for runs an adversary can keep from converging). Trials, Seed, and
+	// Adversary are overwritten per cell by CellSpecs.
+	Opts TrialOpts
 }
 
 // CellSpecs expands the sweep into orchestrator cell specs, one per
@@ -24,11 +29,9 @@ func (f FaultSweep) CellSpecs(trials int, seed uint64) []CellSpec {
 	specs := make([]CellSpec, len(f.Specs))
 	for i := range f.Specs {
 		a := f.Specs[i]
-		specs[i] = CellSpec{
-			Protocol: f.Protocol,
-			Workload: f.Workload,
-			Opts:     TrialOpts{Trials: trials, Seed: seed, Adversary: &a},
-		}
+		opts := f.Opts
+		opts.Trials, opts.Seed, opts.Adversary = trials, seed, &a
+		specs[i] = CellSpec{Protocol: f.Protocol, Workload: f.Workload, Opts: opts}
 	}
 	return specs
 }
@@ -76,21 +79,41 @@ func FaultSweeps(quick bool) []FaultSweep {
 		{DelayProb: 0.5, MaxDelay: 4},
 	}
 
+	// Revocable LE under crash-stop (the ROADMAP's open experiment):
+	// success is judged over survivors, so the question the curve answers
+	// is whether the revocation machinery still converges on a single
+	// surviving leader once nodes crash mid-schedule. The workload stays
+	// in the tiny-complete regime where the Theorem 3 polynomials are
+	// simulable; the round cap sits above the fault-free stabilization
+	// point (~54k rounds at n=4, ~394k at n=6) so only genuinely wedged
+	// runs are cut off and recorded as failures.
+	revocableCrash := []adversary.Spec{{}}
+	for _, f := range []float64{0.25, 0.5} {
+		revocableCrash = append(revocableCrash, adversary.Spec{CrashFraction: f, CrashBy: 8})
+	}
+	revocableN, revocableCap := 4, 60_000
+	if !quick {
+		revocableN, revocableCap = 6, 450_000
+	}
+	revocableOpts := TrialOpts{RevocableUseProfileIso: true, RevocableMaxRounds: revocableCap}
+
 	return []FaultSweep{
 		{"F1-a message loss vs IRE on expanders", ProtoIRE,
-			Workload{Family: "expander", N: expander}, lossLadder(losses...)},
+			Workload{Family: "expander", N: expander}, lossLadder(losses...), TrialOpts{}},
 		{"F1-b message loss vs IRE on cycles", ProtoIRE,
-			Workload{Family: "cycle", N: cycle}, lossLadder(losses...)},
+			Workload{Family: "cycle", N: cycle}, lossLadder(losses...), TrialOpts{}},
 		{"F1-c message loss vs FloodMax on expanders", ProtoFlood,
-			Workload{Family: "expander", N: expander}, lossLadder(losses...)},
+			Workload{Family: "expander", N: expander}, lossLadder(losses...), TrialOpts{}},
 		{"F1-d message loss vs Gilbert-class on expanders", ProtoWalkNotify,
-			Workload{Family: "expander", N: expander}, lossLadder(losses...)},
+			Workload{Family: "expander", N: expander}, lossLadder(losses...), TrialOpts{}},
 		{"F2 crash-stop vs IRE on expanders", ProtoIRE,
-			Workload{Family: "expander", N: expander}, crashLadder},
+			Workload{Family: "expander", N: expander}, crashLadder, TrialOpts{}},
 		{"F3 link churn vs IRE on expanders", ProtoIRE,
-			Workload{Family: "expander", N: expander}, churnLadder},
+			Workload{Family: "expander", N: expander}, churnLadder, TrialOpts{}},
 		{"F4 delivery jitter vs FloodMax on expanders", ProtoFlood,
-			Workload{Family: "expander", N: expander}, delayLadder},
+			Workload{Family: "expander", N: expander}, delayLadder, TrialOpts{}},
+		{"F5 crash-stop vs Revocable LE on complete graphs", ProtoRevocable,
+			Workload{Family: "complete", N: revocableN}, revocableCrash, revocableOpts},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"anonlead/internal/adversary"
+	"anonlead/internal/sim"
 )
 
 // TestFaultSweepAnchorsMatchFaultFree: the zero-spec anchor cell of a
@@ -107,6 +108,59 @@ func TestRenderFaults(t *testing.T) {
 	for _, want := range []string{"loss demo", "none", "loss=0.5", "xmsgs", "dropped"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRevocableCrashSweepDeterminism pins the F5 cells (revocable LE
+// under crash-stop): the sweep template carries the Theorem 3 schedule
+// knobs through CellSpecs, crashes actually land, and the cells are
+// byte-identical between the sequential reference and the orchestrator
+// under every scheduler.
+func TestRevocableCrashSweepDeterminism(t *testing.T) {
+	sweeps := FaultSweeps(true)
+	var f5 *FaultSweep
+	for i := range sweeps {
+		if sweeps[i].Protocol == ProtoRevocable {
+			f5 = &sweeps[i]
+		}
+	}
+	if f5 == nil {
+		t.Fatal("quick fault matrix has no revocable sweep")
+	}
+	specs := f5.CellSpecs(2, 9)
+	for _, s := range specs {
+		if !s.Opts.RevocableUseProfileIso || s.Opts.RevocableMaxRounds == 0 {
+			t.Fatalf("sweep template lost the revocable knobs: %+v", s.Opts)
+		}
+	}
+	ref, err := RunSweepSequential(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !specs[0].Opts.Adversary.IsZero() {
+		t.Fatal("first F5 spec is not the fault-free anchor")
+	}
+	crashed := false
+	for _, c := range ref[1:] {
+		if c.CrashedNodes > 0 {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatalf("crash ladder crashed nobody: %+v", ref)
+	}
+	for _, sched := range []sim.Scheduler{sim.Sequential, sim.WorkerPool, sim.Actors} {
+		s2 := f5.CellSpecs(2, 9)
+		for i := range s2 {
+			s2[i].Opts.Scheduler = sched
+		}
+		got, err := (Orchestrator{Workers: 3, Shards: 2}).RunSweep(s2)
+		if err != nil {
+			t.Fatalf("scheduler %v: %v", sched, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("scheduler %v: orchestrated F5 cells differ from sequential", sched)
 		}
 	}
 }

@@ -15,6 +15,8 @@
 // parameterized with a presumed size n on C_N with N ≫ n and measures how
 // often the network ends up with more than one leader — the empirical
 // content of the theorem.
+//
+// See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package pumping
 
 import (

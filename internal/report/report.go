@@ -1,0 +1,355 @@
+// Package report turns bench artifacts into the reproduction report the
+// paper's evaluation section would print: Table-1-shaped measured-vs-
+// predicted tables per protocol×family, the Dieudonné–Pelc knowledge-
+// ablation comparison, fault-degradation ladders anchored at their
+// fault-free cells, Wilson success intervals everywhere, and — when fed
+// an ordered artifact series — per-metric trend classification
+// (improving/flat/regressing) via the trajectory package's Welch
+// machinery.
+//
+// Everything is a pure function of the artifact bytes: section order
+// follows artifact cell order, all numbers render with fixed rules, and
+// no wall-clock field is consulted, so the same artifact always produces
+// byte-identical markdown/CSV (pinned by the golden test against
+// testdata/BENCH_baseline.json). cmd/lereport is the CLI; CI renders the
+// head artifact's report into the job summary.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"anonlead/internal/harness"
+	"anonlead/internal/stats"
+	"anonlead/internal/trajectory"
+)
+
+// Options tunes report generation. The zero value is the default report.
+type Options struct {
+	// Title overrides the report heading (default "Reproduction report").
+	Title string
+	// Trend tunes the series trend classifier (zero = trajectory defaults).
+	Trend trajectory.Thresholds
+}
+
+func (o Options) title() string {
+	if o.Title != "" {
+		return o.Title
+	}
+	return "Reproduction report"
+}
+
+// Row is one rendered cell: the artifact cell plus the derived columns
+// every section shares (Wilson interval, predicted-vs-measured ratios,
+// and — in anchored sections — cost ratios against the anchor).
+type Row struct {
+	Cell harness.ArtifactCell
+	// occurrence is this cell's duplicate-key occurrence index within the
+	// artifact (fault-ladder anchors share a key with their Table-1
+	// sibling); trend lookups match the same occurrence, mirroring how the
+	// trajectory series pairs duplicates.
+	occurrence int
+	// SuccessLo and SuccessHi are the ~95% Wilson bounds of the success
+	// rate, recomputed from successes/trials so v1 cells get them too.
+	SuccessLo, SuccessHi float64
+	// MsgsVsPred and TimeVsPred are measured/predicted ratios (0 when the
+	// cell carries no usable prediction).
+	MsgsVsPred, TimeVsPred float64
+	// XMsgs and XRounds are cost ratios against the section anchor (0 when
+	// the section has no anchor or the anchor cost is 0).
+	XMsgs, XRounds float64
+}
+
+// newRow derives the shared columns of a cell.
+func newRow(c harness.ArtifactCell) Row {
+	r := Row{Cell: c}
+	r.SuccessLo, r.SuccessHi = stats.Wilson(c.Successes, c.Trials)
+	if c.PredictedMsgs > 0 && c.Messages > 0 {
+		r.MsgsVsPred = c.Messages / c.PredictedMsgs
+	}
+	if c.PredictedTime > 0 && c.Rounds > 0 {
+		r.TimeVsPred = c.Rounds / c.PredictedTime
+	}
+	return r
+}
+
+// anchorRatios fills the against-anchor columns of a row.
+func (r *Row) anchorRatios(anchor *harness.ArtifactCell) {
+	if anchor == nil {
+		return
+	}
+	if anchor.Messages > 0 {
+		r.XMsgs = r.Cell.Messages / anchor.Messages
+	}
+	if anchor.Rounds > 0 {
+		r.XRounds = r.Cell.Rounds / anchor.Rounds
+	}
+}
+
+// FamilyTable is one Table-1-shaped section: one protocol on one graph
+// family, one row per size, with the empirical message-scaling exponent
+// fitted over the rows (the paper's log-log slope).
+type FamilyTable struct {
+	Protocol, Family string
+	Rows             []Row
+	// MsgExponent is the fitted exponent of messages in n with its R²
+	// (both 0 when fewer than two usable points).
+	MsgExponent, MsgExponentR2 float64
+}
+
+// KnowledgeTable is one knowledge-ablation section: a fixed workload
+// swept over presumed network sizes, anchored at the truthful cell
+// (presumed n = n).
+type KnowledgeTable struct {
+	Protocol, Family string
+	N                int
+	Rows             []Row
+	// HasAnchor reports whether the truthful presumed n = n cell was
+	// present to anchor the ratio columns.
+	HasAnchor bool
+}
+
+// FaultTable is one fault-degradation ladder: a fixed protocol×workload
+// swept over adversary severities, anchored at the fault-free cell.
+type FaultTable struct {
+	Protocol, Family string
+	N                int
+	PresumedN        int
+	// Kinds names the adversary primitives the ladder sweeps ("loss",
+	// "crash", "churn+delay", …), so several ladders on one workload stay
+	// distinguishable in the rendered headings.
+	Kinds     string
+	Rows      []Row // Rows[0] is the fault-free anchor when HasAnchor
+	HasAnchor bool
+}
+
+// Report is the structured reproduction report one artifact (or series)
+// renders to.
+type Report struct {
+	Title    string
+	Schema   string
+	RootSeed uint64
+	Cells    int
+
+	Families  []FamilyTable
+	Knowledge []KnowledgeTable
+	Faults    []FaultTable
+
+	// Trends is the series trend classification (nil in single-artifact
+	// mode).
+	Trends *trajectory.SeriesReport
+}
+
+// New builds the report of a single artifact.
+func New(a harness.Artifact, opts Options) Report {
+	r := Report{
+		Title:    opts.title(),
+		Schema:   a.Schema,
+		RootSeed: a.RootSeed,
+		Cells:    len(a.Cells),
+	}
+	r.section(a.Cells)
+	return r
+}
+
+// NewSeries builds the report of the newest artifact of an ordered
+// series (oldest first), plus the cross-series trend section.
+func NewSeries(s trajectory.Series, opts Options) Report {
+	r := New(s.Artifacts[len(s.Artifacts)-1], opts)
+	trends := s.Trends(opts.Trend)
+	r.Trends = &trends
+	return r
+}
+
+// cellIdentity keys the anchored sections: everything that identifies a
+// sweep position except the adversary severity.
+type cellIdentity struct {
+	Protocol, Family string
+	N, PresumedN     int
+}
+
+func identityOf(c harness.ArtifactCell) cellIdentity {
+	return cellIdentity{Protocol: c.Protocol, Family: c.Family, N: c.N, PresumedN: c.PresumedN}
+}
+
+// trajKeyOf is the cell's trajectory alignment key (the adversary-aware
+// identity duplicate occurrences are counted under).
+func trajKeyOf(c harness.ArtifactCell) trajectory.Key {
+	return trajectory.Key{Protocol: c.Protocol, Family: c.Family, N: c.N,
+		PresumedN: c.PresumedN, Adversary: c.Adversary}
+}
+
+// section reconstructs the sweep structure from the flat cell list, in
+// order: fault ladders (a fault-free cell immediately followed by faulted
+// cells of the same identity, or bare faulted runs), knowledge sweeps
+// (consecutive presumed-n cells on one workload), and everything else as
+// Table-1 family rows grouped by protocol×family in first-appearance
+// order.
+func (r *Report) section(cells []harness.ArtifactCell) {
+	famIdx := map[[2]string]int{}
+	knowIdx := map[cellIdentity]int{} // keyed by (proto, family, n, 0)
+
+	// Cells are consumed strictly in artifact order, so counting
+	// duplicate-key occurrences here matches the trajectory series'
+	// occurrence pairing.
+	occSeen := map[trajectory.Key]int{}
+	mkRow := func(c harness.ArtifactCell) Row {
+		row := newRow(c)
+		k := trajKeyOf(c)
+		row.occurrence = occSeen[k]
+		occSeen[k]++
+		return row
+	}
+
+	for i := 0; i < len(cells); {
+		c := cells[i]
+		id := identityOf(c)
+
+		// A fault ladder: [anchor?] faulted+ with one identity.
+		isLadderStart := c.Adversary != "" ||
+			(i+1 < len(cells) && cells[i+1].Adversary != "" && identityOf(cells[i+1]) == id)
+		if isLadderStart {
+			ft := FaultTable{Protocol: id.Protocol, Family: id.Family, N: id.N, PresumedN: id.PresumedN}
+			var anchor *harness.ArtifactCell
+			if c.Adversary == "" {
+				anchor = &cells[i]
+				ft.HasAnchor = true
+				ft.Rows = append(ft.Rows, mkRow(c))
+				i++
+			}
+			for i < len(cells) && cells[i].Adversary != "" && identityOf(cells[i]) == id {
+				row := mkRow(cells[i])
+				row.anchorRatios(anchor)
+				ft.Rows = append(ft.Rows, row)
+				i++
+			}
+			ft.Kinds = ladderKinds(ft.Rows)
+			r.Faults = append(r.Faults, ft)
+			continue
+		}
+
+		// A knowledge sweep: consecutive cells on one workload with a
+		// presumed size (the truthful factor-1 cell also carries one).
+		if c.PresumedN > 0 {
+			key := cellIdentity{Protocol: c.Protocol, Family: c.Family, N: c.N}
+			var kt *KnowledgeTable
+			if j, ok := knowIdx[key]; ok {
+				kt = &r.Knowledge[j]
+			} else {
+				knowIdx[key] = len(r.Knowledge)
+				r.Knowledge = append(r.Knowledge, KnowledgeTable{
+					Protocol: key.Protocol, Family: key.Family, N: key.N,
+				})
+				kt = &r.Knowledge[len(r.Knowledge)-1]
+			}
+			kt.Rows = append(kt.Rows, mkRow(c))
+			i++
+			continue
+		}
+
+		// A Table-1 row.
+		key := [2]string{c.Protocol, c.Family}
+		var ft *FamilyTable
+		if j, ok := famIdx[key]; ok {
+			ft = &r.Families[j]
+		} else {
+			famIdx[key] = len(r.Families)
+			r.Families = append(r.Families, FamilyTable{Protocol: c.Protocol, Family: c.Family})
+			ft = &r.Families[len(r.Families)-1]
+		}
+		ft.Rows = append(ft.Rows, mkRow(c))
+		i++
+	}
+
+	// Knowledge anchors: the truthful presumed n = n cell, when present.
+	for j := range r.Knowledge {
+		kt := &r.Knowledge[j]
+		var anchor *harness.ArtifactCell
+		for k := range kt.Rows {
+			if kt.Rows[k].Cell.PresumedN == kt.N {
+				anchor = &kt.Rows[k].Cell
+				kt.HasAnchor = true
+				break
+			}
+		}
+		for k := range kt.Rows {
+			kt.Rows[k].anchorRatios(anchor)
+		}
+	}
+
+	// Family scaling exponents.
+	for j := range r.Families {
+		ft := &r.Families[j]
+		var xs, ys []float64
+		for _, row := range ft.Rows {
+			xs = append(xs, float64(row.Cell.N))
+			ys = append(ys, row.Cell.Messages)
+		}
+		if slope, r2 := stats.LogLogSlope(xs, ys); r2 > 0 {
+			ft.MsgExponent, ft.MsgExponentR2 = slope, r2
+		}
+	}
+}
+
+// ladderKinds names the adversary primitives a ladder's descriptors use,
+// in first-appearance order ("loss", "crash", "churn+delay", …). The
+// descriptor grammar is "kind=value" primitives joined by commas.
+func ladderKinds(rows []Row) string {
+	var kinds []string
+	seen := map[string]bool{}
+	for _, row := range rows {
+		for _, prim := range strings.Split(row.Cell.Adversary, ",") {
+			kind, _, _ := strings.Cut(prim, "=")
+			if kind != "" && !seen[kind] {
+				seen[kind] = true
+				kinds = append(kinds, kind)
+			}
+		}
+	}
+	return strings.Join(kinds, "+")
+}
+
+// knowledgeFactor is the presumed/true size ratio of a knowledge row.
+func knowledgeFactor(c harness.ArtifactCell) float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.PresumedN) / float64(c.N)
+}
+
+// trendFor finds the series trend of one metric of one rendered row (nil
+// when the report has no series, or the row's cell is not tracked across
+// it). Duplicate-key rows match the tracked cell of the same occurrence
+// index — the trajectory series pairs duplicates by occurrence, so a
+// fault-ladder anchor never inherits its Table-1 sibling's verdict.
+func (r Report) trendFor(row Row, metric string) *trajectory.MetricTrend {
+	if r.Trends == nil {
+		return nil
+	}
+	key, occ := trajKeyOf(row.Cell), 0
+	for i := range r.Trends.Cells {
+		if r.Trends.Cells[i].Key != key {
+			continue
+		}
+		if occ != row.occurrence {
+			occ++
+			continue
+		}
+		for j := range r.Trends.Cells[i].Metrics {
+			if r.Trends.Cells[i].Metrics[j].Metric == metric {
+				return &r.Trends.Cells[i].Metrics[j]
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// describe renders the one-line artifact summary under the title.
+func (r Report) describe() string {
+	s := fmt.Sprintf("artifact schema `%s` · root seed %d · %d cells", r.Schema, r.RootSeed, r.Cells)
+	if r.Trends != nil {
+		s += fmt.Sprintf(" · series of %d artifacts", len(r.Trends.Labels))
+	}
+	return s
+}

@@ -1,0 +1,357 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anonlead/internal/harness"
+	"anonlead/internal/trajectory"
+)
+
+// baselinePath is the committed regression-gate artifact the golden
+// report is rendered from.
+var baselinePath = filepath.Join("..", "..", "testdata", "BENCH_baseline.json")
+
+// goldenPath is the committed render of the baseline artifact, linked
+// from the README; `make baseline` refreshes both together.
+var goldenPath = filepath.Join("..", "..", "testdata", "REPORT_baseline.md")
+
+// goldenTitle matches the title the Makefile's baseline target renders
+// the committed report with.
+const goldenTitle = "anonlead reproduction report — baseline"
+
+// TestBaselineReportGolden pins the report bytes: the committed
+// REPORT_baseline.md must be exactly what the committed baseline
+// artifact renders to (UPDATE_GOLDEN=1 regenerates, or `make baseline`).
+func TestBaselineReportGolden(t *testing.T) {
+	a, err := harness.ReadArtifactFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(New(a, Options{Title: goldenTitle}).Markdown())
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from golden (UPDATE_GOLDEN=1 or `make baseline` regenerates); got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// TestBaselineReportDeterministic: two renders of the same artifact are
+// byte-identical, in both formats.
+func TestBaselineReportDeterministic(t *testing.T) {
+	a, err := harness.ReadArtifactFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := New(a, Options{}), New(a, Options{})
+	if r1.Markdown() != r2.Markdown() {
+		t.Fatal("markdown render not deterministic")
+	}
+	c1, err := r1.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r2.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("CSV render not deterministic")
+	}
+}
+
+// TestBaselineReportSections: the committed artifact reconstructs into
+// the expected paper sections — Table 1 families for every protocol, both
+// knowledge sweeps, and all eight fault ladders (F5 revocable included).
+func TestBaselineReportSections(t *testing.T) {
+	a, err := harness.ReadArtifactFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(a, Options{})
+	if r.Cells != len(a.Cells) {
+		t.Fatalf("cell count %d, want %d", r.Cells, len(a.Cells))
+	}
+	protos := map[string]bool{}
+	for _, ft := range r.Families {
+		protos[ft.Protocol] = true
+	}
+	for _, p := range []string{"ire", "walknotify", "flood", "revocable"} {
+		if !protos[p] {
+			t.Fatalf("Table 1 missing protocol %s (have %v)", p, protos)
+		}
+	}
+	if len(r.Knowledge) != 2 {
+		t.Fatalf("%d knowledge sweeps, want 2", len(r.Knowledge))
+	}
+	for _, kt := range r.Knowledge {
+		if !kt.HasAnchor {
+			t.Fatalf("knowledge sweep %s/%d lost its truthful anchor", kt.Family, kt.N)
+		}
+	}
+	if len(r.Faults) != 8 {
+		t.Fatalf("%d fault ladders, want 8", len(r.Faults))
+	}
+	var revocable *FaultTable
+	for i := range r.Faults {
+		if !r.Faults[i].HasAnchor {
+			t.Fatalf("fault ladder %+v lost its anchor", r.Faults[i])
+		}
+		if r.Faults[i].Protocol == "revocable" {
+			revocable = &r.Faults[i]
+		}
+	}
+	if revocable == nil || revocable.Kinds != "crash" {
+		t.Fatalf("revocable crash ladder missing: %+v", revocable)
+	}
+	// No sweep cell may be double-counted or dropped by the sectioning.
+	total := 0
+	for _, ft := range r.Families {
+		total += len(ft.Rows)
+	}
+	for _, kt := range r.Knowledge {
+		total += len(kt.Rows)
+	}
+	for _, ft := range r.Faults {
+		total += len(ft.Rows)
+	}
+	if total != len(a.Cells) {
+		t.Fatalf("sections carry %d rows, artifact has %d cells", total, len(a.Cells))
+	}
+}
+
+// synthCell builds a minimal v3 cell.
+func synthCell(proto, family string, n int, msgs float64, opts ...func(*harness.ArtifactCell)) harness.ArtifactCell {
+	dist := func(mean float64) *harness.ArtifactDist {
+		return &harness.ArtifactDist{StdDev: 1, Min: mean, Max: mean, P50: mean, P90: mean, P99: mean}
+	}
+	c := harness.ArtifactCell{
+		Protocol: proto, Family: family, N: n, M: n, Diameter: 2, MixingTime: 4,
+		Conductance: 0.5, Trials: 8, Successes: 8,
+		Messages: msgs, Bits: 2 * msgs, Rounds: 10, Charged: 12,
+		MessagesDist: dist(msgs), BitsDist: dist(2 * msgs),
+		RoundsDist: dist(10), ChargedDist: dist(12),
+		PredictedMsgs: msgs / 2, PredictedTime: 5,
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func withAdversary(desc string) func(*harness.ArtifactCell) {
+	return func(c *harness.ArtifactCell) { c.Adversary = desc }
+}
+
+func withPresumed(p int) func(*harness.ArtifactCell) {
+	return func(c *harness.ArtifactCell) { c.PresumedN = p }
+}
+
+// TestSectioning covers the reconstruction rules on a synthetic artifact:
+// family grouping, a knowledge sweep, an anchored ladder, and a bare
+// (anchorless) faulted cell.
+func TestSectioning(t *testing.T) {
+	a := harness.Artifact{Schema: harness.ArtifactSchema, Cells: []harness.ArtifactCell{
+		synthCell("ire", "expander", 32, 1000),
+		synthCell("ire", "expander", 64, 2000),
+		synthCell("ire", "expander", 64, 1800, withPresumed(32)),
+		synthCell("ire", "expander", 64, 2000, withPresumed(64)),
+		synthCell("ire", "expander", 64, 2000),                           // ladder anchor
+		synthCell("ire", "expander", 64, 900, withAdversary("loss=0.1")), // ladder step
+		synthCell("ire", "expander", 64, 500, withAdversary("loss=0.1,crash=0.5@8")),
+		synthCell("flood", "cycle", 16, 60, withAdversary("churn=0.3")), // bare faulted cell
+	}}
+	r := New(a, Options{Title: "synthetic"})
+
+	if len(r.Families) != 1 || len(r.Families[0].Rows) != 2 {
+		t.Fatalf("families wrong: %+v", r.Families)
+	}
+	if r.Families[0].MsgExponentR2 == 0 {
+		t.Fatal("family scaling exponent not fitted")
+	}
+	if len(r.Knowledge) != 1 || len(r.Knowledge[0].Rows) != 2 || !r.Knowledge[0].HasAnchor {
+		t.Fatalf("knowledge wrong: %+v", r.Knowledge)
+	}
+	if x := r.Knowledge[0].Rows[0].XMsgs; x != 0.9 {
+		t.Fatalf("knowledge anchor ratio %v, want 0.9", x)
+	}
+	if len(r.Faults) != 2 {
+		t.Fatalf("faults wrong: %+v", r.Faults)
+	}
+	ladder := r.Faults[0]
+	if !ladder.HasAnchor || len(ladder.Rows) != 3 || ladder.Kinds != "loss+crash" {
+		t.Fatalf("anchored ladder wrong: %+v", ladder)
+	}
+	if x := ladder.Rows[1].XMsgs; x != 0.45 {
+		t.Fatalf("ladder anchor ratio %v, want 0.45", x)
+	}
+	bare := r.Faults[1]
+	if bare.HasAnchor || bare.Kinds != "churn" || bare.Rows[0].XMsgs != 0 {
+		t.Fatalf("bare ladder wrong: %+v", bare)
+	}
+
+	md := r.Markdown()
+	for _, want := range []string{
+		"# synthetic",
+		"## Table 1",
+		"### `ire` on expander",
+		"Empirical scaling",
+		"## Knowledge ablation",
+		"### `ire` on expander, n = 64",
+		"## Fault degradation",
+		"— loss+crash ladder",
+		"`loss=0.1,crash=0.5@8`",
+		"no fault-free anchor cell",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestSeriesReportTrends: the series constructor appends the trajectory
+// section, classifying the synthetic improve/flat/regress correctly.
+func TestSeriesReportTrends(t *testing.T) {
+	mk := func(msgs float64) harness.Artifact {
+		return harness.Artifact{Schema: harness.ArtifactSchema,
+			Cells: []harness.ArtifactCell{synthCell("ire", "expander", 64, msgs)}}
+	}
+	s, err := trajectory.NewSeries([]harness.Artifact{mk(1000), mk(900), mk(500)},
+		[]string{"pr1", "pr2", "pr3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewSeries(s, Options{})
+	if r.Trends == nil || r.Trends.Improving == 0 {
+		t.Fatalf("trend section missing or empty: %+v", r.Trends)
+	}
+	md := r.Markdown()
+	for _, want := range []string{
+		"series of 3 artifacts",
+		"## Trajectory — 3 artifacts: pr1 → pr2 → pr3",
+		"improving",
+		"1000 → 900 → 500",
+		"🟢",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("series markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	// The CSV export tags the tracked metric with its trend.
+	out, err := r.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ",improving") {
+		t.Fatalf("CSV missing trend column:\n%s", out)
+	}
+}
+
+// TestSeriesCSVDuplicateKeyTrends: duplicate-key rows (a fault-ladder
+// anchor sharing a key with its Table-1 sibling) carry their OWN
+// occurrence's trend verdict, not the first occurrence's.
+func TestSeriesCSVDuplicateKeyTrends(t *testing.T) {
+	// Occurrence 0 (table1 row) stays flat; occurrence 1 (the ladder
+	// anchor) regresses 2x between the two artifacts.
+	mk := func(anchorMsgs float64) harness.Artifact {
+		return harness.Artifact{Schema: harness.ArtifactSchema, Cells: []harness.ArtifactCell{
+			synthCell("ire", "expander", 64, 1000),
+			synthCell("ire", "expander", 64, anchorMsgs),
+			synthCell("ire", "expander", 64, 400, withAdversary("loss=0.2")),
+		}}
+	}
+	s, err := trajectory.NewSeries([]harness.Artifact{mk(1000), mk(2000)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewSeries(s, Options{})
+	out, err := r.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table1, anchor string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, ",messages,") || !strings.Contains(line, ",ire,expander,64,0,,") {
+			continue
+		}
+		if strings.HasPrefix(line, "table1,") {
+			table1 = line
+		} else if strings.HasPrefix(line, "faults,") {
+			anchor = line
+		}
+	}
+	if table1 == "" || anchor == "" {
+		t.Fatalf("duplicate-key messages rows missing:\n%s", out)
+	}
+	if !strings.HasSuffix(table1, ",flat") {
+		t.Fatalf("table1 occurrence should be flat: %s", table1)
+	}
+	if !strings.HasSuffix(anchor, ",regressing") {
+		t.Fatalf("ladder anchor should carry its own regressing verdict: %s", anchor)
+	}
+}
+
+// TestCSVShape: one row per (cell, metric), header first, section tags
+// and derived columns in place.
+func TestCSVShape(t *testing.T) {
+	a := harness.Artifact{Schema: harness.ArtifactSchema, Cells: []harness.ArtifactCell{
+		synthCell("ire", "expander", 32, 1000),
+		synthCell("ire", "expander", 32, 1000),                           // ladder anchor
+		synthCell("ire", "expander", 32, 400, withAdversary("loss=0.2")), // ladder step
+	}}
+	r := New(a, Options{})
+	out, err := r.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+3*5 { // header + 3 cells × 5 metrics
+		t.Fatalf("%d CSV lines, want 16:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "section,protocol,family,n,presumed_n,adversary,metric,value") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(out, "table1,ire,expander,32") || !strings.Contains(out, "faults,ire,expander,32,0,loss=0.2") {
+		t.Fatalf("CSV missing section tags:\n%s", out)
+	}
+	// The faulted messages row carries its anchor ratio (400/1000).
+	if !strings.Contains(out, "loss=0.2,messages,400,1,200,2,0.4") {
+		t.Fatalf("faulted messages row wrong:\n%s", out)
+	}
+	// success_rate rows carry Wilson bounds.
+	if !strings.Contains(out, "success_rate,1,,,,,0.67") {
+		t.Fatalf("success row missing Wilson bounds:\n%s", out)
+	}
+}
+
+// TestV1ArtifactReport: a means-only v1 artifact still renders (Wilson
+// recomputed from successes/trials, no dist columns).
+func TestV1ArtifactReport(t *testing.T) {
+	a := harness.Artifact{Schema: harness.ArtifactSchemaV1, Cells: []harness.ArtifactCell{{
+		Protocol: "ire", Family: "expander", N: 64, M: 192,
+		Trials: 10, Successes: 9, Messages: 1000, Rounds: 50,
+	}}}
+	r := New(a, Options{})
+	md := r.Markdown()
+	if !strings.Contains(md, "9/10") || !strings.Contains(md, "[0.596, 0.982]") {
+		t.Fatalf("v1 Wilson interval missing:\n%s", md)
+	}
+	out, err := r.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "table1,ire,expander,64") {
+		t.Fatalf("v1 CSV row missing:\n%s", out)
+	}
+}

@@ -13,6 +13,8 @@
 // into an xoshiro256** state. Both are well-studied, pass BigCrush, and are
 // trivially portable. This package is not cryptographically secure and must
 // not be used for key material.
+//
+// See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package rng
 
 import "math/bits"

@@ -14,6 +14,8 @@
 //
 // where P is the lazy walk (stay with probability 1/2, otherwise uniform
 // neighbor), matching the walk used by Algorithm 5.
+//
+// See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package spectral
 
 import (

@@ -1,6 +1,18 @@
-// Package stats provides the small statistical toolkit used by the
-// experiment harness: summary statistics, success-rate confidence
-// intervals, and log-log regression for empirical scaling exponents.
+// Package stats provides the statistical toolkit the reproduction's
+// verdicts rest on. The paper's guarantees are w.h.p. statements, so
+// validating them across runs needs spread, not just point estimates:
+//
+//   - Dist/DistOf and Quantiles summarize per-trial metric samples
+//     (the distributions schema-v2+ bench artifacts persist per cell);
+//   - Wilson gives the success-rate confidence interval every rendered
+//     table and every benchdiff success verdict uses;
+//   - StdErr/WelchStdErr feed the variance-aware effect gates in
+//     internal/trajectory (a change must beat both a relative tolerance
+//     and k Welch standard errors before it is called);
+//   - LogLogSlope fits the empirical scaling exponents the Table 1
+//     sections report next to the paper's predicted bounds.
+//
+// See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package stats
 
 import (

@@ -5,6 +5,8 @@
 //
 // Recording is opt-in per network (sim.Config.Trace); when disabled, the
 // protocol-side logging calls are no-ops with negligible cost.
+//
+// See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package trace
 
 import (
