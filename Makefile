@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench faults-smoke bench-artifact benchdiff report baseline lint fmt ci clean
+.PHONY: all build test race bench faults-smoke scaling-smoke bench-artifact benchdiff report baseline lint fmt ci clean
 
 all: build
 
@@ -31,6 +31,14 @@ bench:
 # subsystem. CI's bench-smoke job runs this next to the benchmarks.
 faults-smoke:
 	$(GO) run ./cmd/lebench -exp faults -quick -parallel
+
+# Scaling smoke: one 100k-node expander cell under the streaming estimate
+# regime, run twice so the second run demonstrates the profile-cache hit
+# (cold cell budget: well under a minute; the repeat collapses to trial
+# cost). CI's bench-smoke job runs this and archives BENCH_scaling.json
+# next to BENCH_harness.json.
+scaling-smoke:
+	$(GO) run ./cmd/lebench -exp scaling -quick -json BENCH_scaling.json
 
 # The regression-gate sweep: every artifact cell (Table 1 + the X4
 # knowledge ablation + the fault-injection resilience curves) at the
@@ -73,5 +81,5 @@ fmt:
 ci: build lint test race bench
 
 clean:
-	rm -f BENCH_harness.json REPORT.md
+	rm -f BENCH_harness.json BENCH_scaling.json REPORT.md
 	$(GO) clean -testcache

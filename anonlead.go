@@ -53,14 +53,15 @@ import (
 
 // Network is an anonymous network instance: a connected topology plus its
 // structural profile (diameter, mixing time, conductance, isoperimetric
-// number), computed lazily when a protocol or Stats needs it. Construct
-// with NewNetwork or NewNetworkFromEdges. A Network is immutable and safe
-// for concurrent elections.
+// number), computed lazily when a protocol, Stats or Profile needs it and
+// cached per regime. Construct with NewNetwork or NewNetworkFromEdges. A
+// Network is immutable and safe for concurrent elections.
 type Network struct {
-	g        *graph.Graph
-	profOnce sync.Once
-	prof     *spectral.Profile
-	profErr  error
+	g    *graph.Graph
+	seed uint64 // construction seed; feeds the estimate regime's sampling
+
+	mu    sync.Mutex
+	profs map[spectral.Mode]*spectral.Profile // keyed by resolved mode
 }
 
 // Families returns the topology family names accepted by NewNetwork:
@@ -72,13 +73,15 @@ func Families() []string { return graph.FamilyNames() }
 // families (regular, gnp, expander) are drawn deterministically from seed
 // with the same derivation the experiment harness uses, so
 // NewNetwork(family, n, seed) is exactly the workload graph behind the
-// corresponding sweep cell in the benchmark artifacts.
+// corresponding sweep cell in the benchmark artifacts. Construction is
+// graph-sized work: the structural profile is computed lazily when a
+// protocol, Stats or Profile first needs it.
 func NewNetwork(family string, n int, seed uint64) (*Network, error) {
 	g, err := graph.ByName(family, n, rng.New(seed).SplitString("graph:"+family))
 	if err != nil {
 		return nil, err
 	}
-	return newNetwork(g, true)
+	return newNetwork(g, seed)
 }
 
 // NewNetworkFromEdges builds a network from an explicit undirected edge
@@ -88,7 +91,7 @@ func NewNetworkFromEdges(n int, edges [][2]int) (*Network, error) {
 	for _, e := range edges {
 		b.AddEdge(e[0], e[1])
 	}
-	return newNetwork(b.Graph(), true)
+	return newNetwork(b.Graph(), 0)
 }
 
 // NewNetworkFromGraph wraps an already-built internal topology without
@@ -99,10 +102,10 @@ func NewNetworkFromEdges(n int, edges [][2]int) (*Network, error) {
 // lazily, so wrapping is cheap when every protocol input is supplied
 // explicitly.
 func NewNetworkFromGraph(g *graph.Graph) (*Network, error) {
-	return newNetwork(g, false)
+	return newNetwork(g, 0)
 }
 
-func newNetwork(g *graph.Graph, eager bool) (*Network, error) {
+func newNetwork(g *graph.Graph, seed uint64) (*Network, error) {
 	if g == nil || g.N() == 0 {
 		return nil, errEmptyGraph
 	}
@@ -110,27 +113,44 @@ func newNetwork(g *graph.Graph, eager bool) (*Network, error) {
 		return nil, err
 	}
 	if !g.IsConnected() {
-		// Rejected on every construction path (not just the eager one that
-		// profiles) so Stats and the profiled defaults can never observe a
+		// Rejected on every construction path (even though profiling is
+		// lazy) so Stats and the profiled defaults can never observe a
 		// disconnected graph.
 		return nil, graph.ErrDisconnected
 	}
-	nw := &Network{g: g}
-	if eager {
-		if _, err := nw.profile(); err != nil {
-			return nil, err
-		}
-	}
-	return nw, nil
+	return &Network{g: g, seed: seed}, nil
 }
 
-// profile returns the network's structural profile, computing it on first
-// use (profiling rejects disconnected graphs).
-func (nw *Network) profile() (*spectral.Profile, error) {
-	nw.profOnce.Do(func() {
-		nw.prof, nw.profErr = spectral.ProfileGraph(nw.g)
-	})
-	return nw.prof, nw.profErr
+// profileMode returns the network's structural profile under the given
+// regime, computing it on first use and caching per resolved mode (the
+// graph is connected by construction, so profiling cannot fail on the
+// topology).
+func (nw *Network) profileMode(mode spectral.Mode) (*spectral.Profile, error) {
+	resolved := mode.Resolve(nw.g.N())
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if p, ok := nw.profs[resolved]; ok {
+		return p, nil
+	}
+	p, err := spectral.ProfileGraphMode(nw.g, resolved, nw.seed)
+	if err != nil {
+		return nil, err
+	}
+	if nw.profs == nil {
+		nw.profs = make(map[spectral.Mode]*spectral.Profile, 2)
+	}
+	nw.profs[resolved] = p
+	return p, nil
+}
+
+// cachedProfile returns the already-computed profile for the resolved
+// mode, or nil — it never forces a computation. Run uses it to attach a
+// profile to the Outcome exactly when one was needed.
+func (nw *Network) cachedProfile(mode spectral.Mode) *spectral.Profile {
+	resolved := mode.Resolve(nw.g.N())
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.profs[resolved]
 }
 
 // N returns the number of nodes.
@@ -139,10 +159,12 @@ func (nw *Network) N() int { return nw.g.N() }
 // M returns the number of links.
 func (nw *Network) M() int { return nw.g.M() }
 
-// Stats returns the network's structural profile (zero value if the
-// graph is disconnected; constructors reject those up front).
+// Stats returns the network's structural profile under the auto regime
+// (exact on small networks, streaming estimate on large ones; zero value
+// only on internal profiling failure — constructors reject disconnected
+// graphs up front). Profile exposes the full profile with regime flags.
 func (nw *Network) Stats() NetworkStats {
-	prof, err := nw.profile()
+	prof, err := nw.profileMode(spectral.ModeAuto)
 	if err != nil {
 		return NetworkStats{}
 	}

@@ -3,10 +3,17 @@
 // conductance and isoperimetric number — the quantities the paper's
 // protocols are parameterized by.
 //
+// The profile comes from the public anonlead API (NewNetwork +
+// Network.Profile), so -profile selects the same exact/estimate/auto
+// regimes library users get: exact inverts dense matrices and is limited
+// to small n, estimate streams random walks and sweep cuts and scales to
+// hundreds of thousands of nodes.
+//
 // Usage:
 //
 //	graphinfo -graph cycle -n 64
 //	graphinfo -graph expander -n 256 -seed 7
+//	graphinfo -graph expander -n 100000 -profile estimate
 package main
 
 import (
@@ -15,9 +22,8 @@ import (
 	"os"
 	"strings"
 
+	"anonlead"
 	"anonlead/internal/graph"
-	"anonlead/internal/rng"
-	"anonlead/internal/spectral"
 )
 
 func main() {
@@ -31,13 +37,18 @@ func run() error {
 	family := flag.String("graph", "cycle", "topology family: "+strings.Join(graph.FamilyNames(), ", "))
 	n := flag.Int("n", 32, "number of nodes")
 	seed := flag.Uint64("seed", 1, "seed for random families")
+	profile := flag.String("profile", "auto", "profile regime: exact, estimate, or auto (exact up to n=256)")
 	flag.Parse()
 
-	g, err := graph.ByName(*family, *n, rng.New(*seed))
+	mode, err := anonlead.ParseProfileMode(*profile)
 	if err != nil {
 		return err
 	}
-	prof, err := spectral.ProfileGraph(g)
+	nw, err := anonlead.NewNetwork(*family, *n, *seed)
+	if err != nil {
+		return err
+	}
+	prof, err := nw.Profile(mode)
 	if err != nil {
 		return err
 	}

@@ -11,9 +11,11 @@
 //	lebench -exp knowledge         # X4 knowledge ablation only
 //	lebench -exp faults            # F1-F5 fault-injection resilience curves
 //	lebench -exp sweeps            # table1 + knowledge + faults (the artifact cells)
+//	lebench -exp scaling           # n=10^3..10^5 ramps under the estimate regime
 //	lebench -exp all -quick        # everything, reduced sweep
 //	lebench -exp table1 -parallel  # fan cells/trials over all CPUs
 //	lebench -exp table1 -parallel -shards 8 -json BENCH_harness.json
+//	lebench -exp scaling -quick -json BENCH_scaling.json   # CI smoke + cache demo
 //
 // -exp faults runs the adversary subsystem's resilience sweeps
 // (internal/adversary): fault rate × protocol × graph family for message
@@ -27,6 +29,19 @@
 // lands in the JSON artifact — and is what CI's bench-gate job executes
 // before diffing the artifact against testdata/BENCH_baseline.json with
 // cmd/benchdiff.
+//
+// -exp scaling is the estimate-regime counterpart of Table 1: size ramps
+// to n = 10^5, where profiles come from the streaming spectral estimators
+// instead of dense matrices. Cells run sequentially with per-cell wall
+// timing and the rendering reports empirical scaling exponents plus
+// profile-cache hit rates; -quick shrinks the matrix to one 100k-node
+// expander cell run twice (the CI smoke, demonstrating the cache hit).
+//
+// -profile pins the spectral profile regime for every sweep cell: exact
+// (dense matrices, the committed baselines), estimate (streaming, scales
+// past dense sizes), or auto (the default: exact up to n = 256, estimate
+// above). The resolved regime is part of each cell's identity in the
+// schema-v4 artifact, so a regime switch diffs as added/removed cells.
 //
 // With -parallel, the sweep-based experiments (table1, knowledge, faults)
 // fan their cells and per-cell trials out over a bounded worker pool;
@@ -45,6 +60,7 @@ import (
 	"time"
 
 	"anonlead/internal/harness"
+	"anonlead/internal/spectral"
 )
 
 func main() {
@@ -61,6 +77,7 @@ type session struct {
 	trials   int
 	seed     uint64
 	parallel bool
+	profile  spectral.Mode
 	orch     harness.Orchestrator
 	jsonPath string
 
@@ -70,8 +87,13 @@ type session struct {
 }
 
 // sweep runs a batch of cell specs through the configured engine and
-// records the results for the artifact.
+// records the results for the artifact. The -profile regime is applied
+// here, so one flag threads the canonical mode through every experiment's
+// TrialOpts and into the artifact cell descriptors.
 func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
+	for i := range specs {
+		specs[i].Opts.ProfileMode = s.profile
+	}
 	var (
 		cells []harness.Cell
 		err   error
@@ -91,7 +113,7 @@ func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, faults, sweeps, all")
+		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, faults, sweeps, scaling, all")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast pass")
 		trials   = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		seed     = flag.Uint64("seed", 1, "root random seed")
@@ -99,20 +121,25 @@ func run() error {
 		shards   = flag.Int("shards", 0, "trial shards per cell for -parallel (0 = worker count)")
 		workers  = flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
 		jsonPath = flag.String("json", "", "write the machine-readable sweep artifact (e.g. BENCH_harness.json)")
+		profile  = flag.String("profile", "auto", "spectral profile regime for sweep cells: exact, estimate, or auto (exact up to n=256, estimate above)")
 	)
 	flag.Parse()
 
+	mode, err := spectral.ParseMode(*profile)
+	if err != nil {
+		return err
+	}
 	s := &session{
 		quick:    *quick,
 		trials:   *trials,
 		seed:     *seed,
 		parallel: *parallel,
+		profile:  mode,
 		orch:     harness.Orchestrator{Workers: *workers, Shards: *shards},
 		jsonPath: *jsonPath,
 		start:    time.Now(),
 	}
 
-	var err error
 	switch *exp {
 	case "table1":
 		err = table1(s)
@@ -124,6 +151,8 @@ func run() error {
 		err = knowledge(s)
 	case "faults":
 		err = faults(s)
+	case "scaling":
+		err = scaling(s)
 	case "sweeps":
 		for _, f := range []func(*session) error{table1, knowledge, faults} {
 			if err = f(s); err != nil {
@@ -332,6 +361,41 @@ func faults(s *session) error {
 		}
 		fmt.Println(harness.RenderFaults(f, cells))
 	}
+	return nil
+}
+
+// scaling runs the estimate-regime size ramps (n = 10^3..10^5) with
+// per-cell wall timing, prints empirical scaling exponents, and reports
+// the profile-cache hit rate — the cache is what makes the second run of
+// a repeated cell collapse to trial cost (the -quick smoke demonstrates
+// exactly that with one 100k-node cell run twice).
+func scaling(s *session) error {
+	trials := pickTrials(s.trials, 2)
+	if s.quick {
+		trials = pickTrials(s.trials, 1)
+	}
+	opts := harness.TrialOpts{Trials: trials, Seed: s.seed, ProfileMode: s.profile}
+	hits0, misses0 := harness.ProfileCacheStats()
+	var all []harness.TimedCell
+	for _, sw := range harness.ScalingSweeps(s.quick) {
+		timed, specs, err := harness.RunScalingSweep(sw, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderScaling(sw.Title, timed))
+		s.specs = append(s.specs, specs...)
+		s.cells = append(s.cells, harness.CellsOfTimed(timed)...)
+		all = append(all, timed...)
+	}
+	hits, misses := harness.ProfileCacheStats()
+	fmt.Printf("profile cache: %d hits, %d misses this run\n", hits-hits0, misses-misses0)
+	if s.quick && len(all) == 2 && all[1].PrepSeconds > 0 {
+		fmt.Printf("cache speedup: cell %.2fs -> %.2fs, prepare %.2fs -> %.3fs (%.0fx)\n",
+			all[0].Seconds, all[1].Seconds,
+			all[0].PrepSeconds, all[1].PrepSeconds,
+			all[0].PrepSeconds/all[1].PrepSeconds)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -11,8 +11,12 @@
 //
 // The comparison is written entirely against the public API: every
 // protocol is a registry name handed to the same Network.Run call, so
-// swapping protocols is a string, not a method. (For large fanned-out
-// sweeps with distribution artifacts, see cmd/lebench.)
+// swapping protocols is a string, not a method — and each network's
+// structural profile (diameter, mixing time, conductance) comes from
+// Network.Profile, the same exact/estimate regime surface the protocols'
+// defaults are filled from. (For large fanned-out sweeps with
+// distribution artifacts, see cmd/lebench; for n beyond a few hundred,
+// anonlead.ProfileEstimate keeps profiling cheap.)
 //
 //	go run ./examples/topology-compare
 package main
@@ -47,6 +51,15 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			// The structural quantities the protocols are parameterized
+			// by, from the public profile surface (auto: exact here,
+			// estimate past n=256).
+			prof, err := nw.Profile(anonlead.ProfileAuto)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  n=%d: m=%d D=%d tmix=%d phi=%.3f\n",
+				prof.N, prof.M, prof.Diameter, prof.MixingTime, prof.Conductance)
 			for _, proto := range protos {
 				var msgs, rounds, charged, wins float64
 				for t := 0; t < trials; t++ {

@@ -87,8 +87,11 @@ func NewFloodFactory(cfg FloodConfig) (sim.Factory, error) {
 	if err != nil {
 		return nil, err
 	}
+	var arena sim.Arena[FloodMachine]
 	return func(node, degree int, r *rng.RNG) sim.Machine {
-		return &FloodMachine{p: p, r: r}
+		m := arena.New()
+		m.p, m.r = p, r
+		return m
 	}, nil
 }
 

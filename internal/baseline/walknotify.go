@@ -123,14 +123,14 @@ func NewWalkNotifyFactory(cfg WalkNotifyConfig) (sim.Factory, error) {
 	if err != nil {
 		return nil, err
 	}
+	var arena sim.Arena[WalkNotifyMachine]
 	return func(node, degree int, r *rng.RNG) sim.Machine {
-		return &WalkNotifyMachine{
-			p:        p,
-			r:        r,
-			revPort:  make(map[uint64]int),
-			parked:   make(map[uint64]int),
-			killSent: make(map[uint64]bool),
-		}
+		m := arena.New()
+		m.p, m.r = p, r
+		m.revPort = make(map[uint64]int)
+		m.parked = make(map[uint64]int)
+		m.killSent = make(map[uint64]bool)
+		return m
 	}, nil
 }
 

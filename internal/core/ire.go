@@ -176,13 +176,13 @@ func NewIREFactory(cfg IREConfig) (sim.Factory, error) {
 	if err != nil {
 		return nil, err
 	}
+	var arena sim.Arena[IREMachine]
 	return func(node, degree int, r *rng.RNG) sim.Machine {
-		return &IREMachine{
-			p:      p,
-			r:      r,
-			execs:  make(map[uint64]*bcastExec),
-			ccSent: make(map[uint64]uint64),
-		}
+		m := arena.New()
+		m.p, m.r = p, r
+		m.execs = make(map[uint64]*bcastExec)
+		m.ccSent = make(map[uint64]uint64)
+		return m
 	}, nil
 }
 

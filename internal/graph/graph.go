@@ -122,6 +122,84 @@ func (g *Graph) PortTo(u, v int) int {
 	return -1
 }
 
+// EdgeOffsets returns the prefix sums of node degrees: a slice of length
+// n+1 with off[v+1]-off[v] = deg(v). It is the indexing scheme for flat
+// per-port buffers (the simulator carves all per-edge state out of single
+// backing arrays using these offsets).
+func (g *Graph) EdgeOffsets() []int {
+	off := make([]int, len(g.adj)+1)
+	for v := range g.adj {
+		off[v+1] = off[v] + len(g.adj[v])
+	}
+	return off
+}
+
+// ReversePorts returns the flat reverse-port table: for the edge behind
+// port p of node v (at flat index EdgeOffsets()[v]+p, leading to w), the
+// entry is the port of w that leads back to v. Built in O(m log n) via a
+// sorted port index, so graph-sized setup never pays the O(deg) PortTo
+// scan per edge (quadratic at hub nodes such as diam2 centers).
+func (g *Graph) ReversePorts() []int32 {
+	off := g.EdgeOffsets()
+	idx := g.portsByNeighbor()
+	rev := make([]int32, off[len(g.adj)])
+	for v := range g.adj {
+		base := off[v]
+		for p, w := range g.adj[v] {
+			rev[base+p] = portIn(g.adj[w], idx[w], int32(v))
+		}
+	}
+	return rev
+}
+
+// portsByNeighbor returns, for every node, its ports ordered by the
+// neighbor id behind them — a binary-searchable neighbor→port index.
+// O(m log n) total; shared by ReversePorts and Validate. The per-node
+// views are windows into one flat backing array and the sorter is reused,
+// so the whole index costs a constant number of allocations.
+func (g *Graph) portsByNeighbor() [][]int32 {
+	off := g.EdgeOffsets()
+	buf := make([]int32, off[len(g.adj)])
+	idx := make([][]int32, len(g.adj))
+	ps := &portSorter{}
+	for v := range g.adj {
+		ports := buf[off[v]:off[v+1]]
+		for p := range ports {
+			ports[p] = int32(p)
+		}
+		ps.nb, ps.ports = g.adj[v], ports
+		sort.Sort(ps)
+		idx[v] = ports
+	}
+	return idx
+}
+
+// portSorter sorts a node's port list by the neighbor id behind each port.
+// It is reused across nodes to keep index construction allocation-free.
+type portSorter struct{ nb, ports []int32 }
+
+func (s *portSorter) Len() int           { return len(s.ports) }
+func (s *portSorter) Less(i, j int) bool { return s.nb[s.ports[i]] < s.nb[s.ports[j]] }
+func (s *portSorter) Swap(i, j int)      { s.ports[i], s.ports[j] = s.ports[j], s.ports[i] }
+
+// portIn binary-searches idx (ports of a node sorted by neighbor id, over
+// adjacency nb) for the port leading to v, returning -1 when absent.
+func portIn(nb []int32, idx []int32, v int32) int32 {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nb[idx[mid]] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(idx) && nb[idx[lo]] == v {
+		return idx[lo]
+	}
+	return -1
+}
+
 // Edges returns all undirected edges as (u,v) pairs with u < v, sorted.
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.m)
@@ -193,11 +271,12 @@ func (g *Graph) PermutePorts(r *rng.RNG) *Graph {
 
 // Validate checks structural invariants: symmetry of the adjacency
 // structure, no self-loops, no duplicate ports, and degree/edge-count
-// consistency (handshake lemma). Generators are tested through this.
+// consistency (handshake lemma). Generators are tested through this. Runs
+// in O(m log n) via the sorted port index — no per-node maps, no linear
+// PortTo scans — so validating a hub-heavy graph stays graph-sized.
 func (g *Graph) Validate() error {
 	degSum := 0
 	for u := range g.adj {
-		seen := make(map[int32]struct{}, len(g.adj[u]))
 		for _, w := range g.adj[u] {
 			if int(w) == u {
 				return fmt.Errorf("graph: self-loop at node %d", u)
@@ -205,18 +284,25 @@ func (g *Graph) Validate() error {
 			if w < 0 || int(w) >= len(g.adj) {
 				return fmt.Errorf("graph: node %d links out of range to %d", u, w)
 			}
-			if _, dup := seen[w]; dup {
-				return fmt.Errorf("graph: duplicate edge %d-%d", u, w)
-			}
-			seen[w] = struct{}{}
-			if g.PortTo(int(w), u) < 0 {
-				return fmt.Errorf("graph: asymmetric edge %d->%d", u, w)
-			}
 		}
 		degSum += len(g.adj[u])
 	}
 	if degSum != 2*g.m {
 		return fmt.Errorf("graph: handshake violation: degree sum %d != 2m %d", degSum, 2*g.m)
+	}
+	idx := g.portsByNeighbor()
+	for u := range g.adj {
+		nb, order := g.adj[u], idx[u]
+		for i := 1; i < len(order); i++ {
+			if nb[order[i]] == nb[order[i-1]] {
+				return fmt.Errorf("graph: duplicate edge %d-%d", u, nb[order[i]])
+			}
+		}
+		for _, w := range nb {
+			if portIn(g.adj[w], idx[w], int32(u)) < 0 {
+				return fmt.Errorf("graph: asymmetric edge %d->%d", u, w)
+			}
+		}
 	}
 	return nil
 }

@@ -428,3 +428,30 @@ func TestCliqueOfCliques(t *testing.T) {
 		}()
 	}
 }
+
+func TestEdgeOffsetsAndReversePorts(t *testing.T) {
+	g, err := ByName("diam2", 64, rng.New(3).SplitString("graph:diam2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := g.EdgeOffsets()
+	if len(off) != g.N()+1 || off[g.N()] != 2*g.M() {
+		t.Fatalf("offsets shape wrong: len=%d last=%d want %d/%d", len(off), off[g.N()], g.N()+1, 2*g.M())
+	}
+	rev := g.ReversePorts()
+	for v := 0; v < g.N(); v++ {
+		if off[v+1]-off[v] != g.Degree(v) {
+			t.Fatalf("node %d: offset span %d != degree %d", v, off[v+1]-off[v], g.Degree(v))
+		}
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			q := rev[off[v]+p]
+			if want := g.PortTo(w, v); int(q) != want {
+				t.Fatalf("edge (%d,%d): reverse port %d != PortTo %d", v, p, q, want)
+			}
+			if g.Neighbor(w, int(q)) != v {
+				t.Fatalf("edge (%d,%d): reverse port does not lead back", v, p)
+			}
+		}
+	}
+}

@@ -6,20 +6,26 @@ import (
 	"os"
 	"time"
 
+	"anonlead/internal/spectral"
 	"anonlead/internal/stats"
 )
 
 // ArtifactSchema identifies the BENCH_harness.json format version. Bump it
 // when the cell layout changes so trajectory tooling can tell formats apart.
 //
-// v3 keeps every v2 field and adds the adversary descriptor to each cell
-// (plus the mean dropped-packet and crashed-node counts), so fault-injected
-// resilience cells carry their perturbation in their identity: trajectory
-// alignment keys on it and benchdiff gates degradation curves like any
-// other metric. Fault-free cells omit the new fields, so a v3 artifact of
-// an unperturbed sweep differs from its v2 ancestor only in the schema
-// string.
-const ArtifactSchema = "anonlead/bench-harness/v3"
+// v4 keeps every v3 field and adds the resolved profile regime to each
+// cell ("estimate" when the cell's tmix/Φ/diameter inputs came from the
+// streaming estimators; omitted for the legacy exact regime). The regime
+// is part of the cell's identity: trajectory alignment keys on it, so an
+// exact cell and an estimate cell of the same workload report as
+// added/removed rather than falsely regressed. Exact-regime cells
+// serialize byte-identically to v3 apart from the schema string.
+const ArtifactSchema = "anonlead/bench-harness/v4"
+
+// ArtifactSchemaV3 is the previous format: v2 plus adversary cell identity
+// (descriptor, dropped/crashed aggregates), without profile regimes. Still
+// readable; its cells align as exact-regime.
+const ArtifactSchemaV3 = "anonlead/bench-harness/v3"
 
 // ArtifactSchemaV2 is the previous format: v1 plus per-metric
 // distributions and the Wilson success interval, without adversary cell
@@ -84,6 +90,11 @@ type ArtifactCell struct {
 	// (adversary.Spec.Descriptor; "" = fault-free). Part of the cell's
 	// identity for trajectory alignment. Schema v3.
 	Adversary string `json:"adversary,omitempty"`
+	// ProfileMode is the resolved profile regime behind the cell's
+	// tmix/Φ/diameter columns: "estimate" for the streaming estimators,
+	// "" (omitted) for the legacy exact regime. Part of the cell's
+	// identity for trajectory alignment. Schema v4.
+	ProfileMode string `json:"profile_mode,omitempty"`
 
 	Trials       int     `json:"trials"`
 	Successes    int     `json:"successes"`
@@ -179,6 +190,9 @@ func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Du
 			ac.Conductance = prof.Conductance
 			ac.PredictedMsgs = predictMsgs(c.Protocol, prof)
 			ac.PredictedTime = predictTime(c.Protocol, prof)
+			if prof.Estimated {
+				ac.ProfileMode = spectral.ModeEstimate.String()
+			}
 		}
 		if i < len(specs) {
 			ac.PresumedN = specs[i].Opts.PresumedN
@@ -225,21 +239,21 @@ func (a Artifact) WriteFile(path string) error {
 	return nil
 }
 
-// ReadArtifact decodes a bench artifact, accepting the current v3 schema
-// plus the legacy v2 (no adversary cell identity) and v1 (means only).
-// Unknown schemas are rejected so trajectory tooling fails loudly on
-// foreign files rather than comparing garbage.
+// ReadArtifact decodes a bench artifact, accepting the current v4 schema
+// plus the legacy v3 (no profile regimes), v2 (no adversary cell identity)
+// and v1 (means only). Unknown schemas are rejected so trajectory tooling
+// fails loudly on foreign files rather than comparing garbage.
 func ReadArtifact(buf []byte) (Artifact, error) {
 	var a Artifact
 	if err := json.Unmarshal(buf, &a); err != nil {
 		return Artifact{}, fmt.Errorf("harness: decode artifact: %w", err)
 	}
 	switch a.Schema {
-	case ArtifactSchema, ArtifactSchemaV2, ArtifactSchemaV1:
+	case ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
 		return a, nil
 	default:
-		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s, %s, or %s)",
-			a.Schema, ArtifactSchema, ArtifactSchemaV2, ArtifactSchemaV1)
+		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s, %s, %s, or %s)",
+			a.Schema, ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
 	}
 }
 

@@ -162,6 +162,13 @@ type TrialOpts struct {
 	// under a dedicated label, so machine randomness is untouched and a
 	// zero-rate spec is byte-identical to no adversary at all.
 	Adversary *adversary.Spec
+	// ProfileMode selects the regime for the cell's spectral profile (the
+	// protocols' tmix/Φ/diameter inputs): exact (legacy, the committed
+	// baselines), estimate (streaming, scales past dense-matrix sizes) or
+	// auto (exact up to n = 256, estimate above; the zero value). The
+	// resolved mode is part of the cell's identity: the profile cache keys
+	// on it and artifact cells record it.
+	ProfileMode spectral.Mode
 	// PresumedN, when positive, misreports the network size to the
 	// protocol (the knowledge ablation after Dieudonné–Pelc: how does
 	// election degrade when nodes' knowledge of n is wrong?). The graph
@@ -236,20 +243,19 @@ func AdversarySeed(trialSeed uint64) uint64 {
 
 // prepareCell deterministically builds and profiles a workload graph and
 // wraps it as a public network (the session object every trial of the
-// cell runs through). The wrap is cheap: the network's own lazy profile
-// is never touched because trials supply every profiled input explicitly.
-func prepareCell(w Workload, seed uint64) (*anonlead.Network, *spectral.Profile, error) {
-	g, err := w.BuildGraph(seed)
+// cell runs through). The graph, its network wrap, and the profile all
+// come from the process-wide cell cache, so repeated cells — across
+// protocols, ablation factors, or whole sweeps — cost one build, one
+// structural validation, and one profile. The network's own lazy profile
+// is never touched: trials supply every profiled input explicitly.
+func prepareCell(w Workload, seed uint64, mode spectral.Mode) (*anonlead.Network, *spectral.Profile, error) {
+	_, anw, err := cachedGraph(w, seed)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: build %s/%d: %w", w.Family, w.N, err)
 	}
-	prof, err := spectral.ProfileGraph(g)
+	prof, err := cachedSpectralProfile(w, seed, mode)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: profile %s/%d: %w", w.Family, w.N, err)
-	}
-	anw, err := anonlead.NewNetworkFromGraph(g)
-	if err != nil {
-		return nil, nil, fmt.Errorf("harness: wrap %s/%d: %w", w.Family, w.N, err)
 	}
 	return anw, prof, nil
 }
@@ -301,7 +307,7 @@ func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) 
 // reference semantics for Orchestrator.RunSweep, which produces
 // bit-identical cells from a worker pool.
 func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
-	anw, prof, err := prepareCell(w, opts.Seed)
+	anw, prof, err := prepareCell(w, opts.Seed, opts.ProfileMode)
 	if err != nil {
 		return Cell{}, err
 	}

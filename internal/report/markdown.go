@@ -54,15 +54,27 @@ func (r Report) familyMarkdown(ft FamilyTable) string {
 	fmt.Fprintf(&b, "### `%s` on %s\n\n", ft.Protocol, ft.Family)
 	b.WriteString("| n | m | D | tmix | Φ | messages | pred msgs | msg/pred | rounds | pred time | time/pred | success | 95% CI |\n")
 	b.WriteString("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|\n")
+	estimated := false
 	for _, row := range ft.Rows {
 		c := row.Cell
-		fmt.Fprintf(&b, "| %d | %d | %d | %d | %s | %s | %s | %s | %s | %s | %s | %d/%d | %s |\n",
-			c.N, c.M, c.Diameter, c.MixingTime, num(c.Conductance),
+		tmix := fmt.Sprintf("%d", c.MixingTime)
+		if c.ProfileMode != "" {
+			// Estimate-regime cell: tmix/Φ/D came from the streaming
+			// estimators (schema v4). Exact cells render unchanged.
+			tmix += "\\*"
+			estimated = true
+		}
+		fmt.Fprintf(&b, "| %d | %d | %d | %s | %s | %s | %s | %s | %s | %s | %s | %d/%d | %s |\n",
+			c.N, c.M, c.Diameter, tmix, num(c.Conductance),
 			num(c.Messages), num(c.PredictedMsgs), ratio(row.MsgsVsPred),
 			num(c.Rounds), num(c.PredictedTime), ratio(row.TimeVsPred),
 			c.Successes, c.Trials, wilson(row))
 	}
 	b.WriteString("\n")
+	if estimated {
+		b.WriteString("\\* estimate-regime profile: tmix, Φ and D are streaming estimates\n" +
+			"(D a double-BFS lower bound), not dense-matrix exact values.\n\n")
+	}
 	if ft.MsgExponentR2 > 0 {
 		fmt.Fprintf(&b, "Empirical scaling: messages ~ n^%.2f (R² = %.3f).\n\n", ft.MsgExponent, ft.MsgExponentR2)
 	}

@@ -172,11 +172,12 @@ func identityOf(c harness.ArtifactCell) cellIdentity {
 	return cellIdentity{Protocol: c.Protocol, Family: c.Family, N: c.N, PresumedN: c.PresumedN}
 }
 
-// trajKeyOf is the cell's trajectory alignment key (the adversary-aware
-// identity duplicate occurrences are counted under).
+// trajKeyOf is the cell's trajectory alignment key (the adversary- and
+// profile-regime-aware identity duplicate occurrences are counted under).
 func trajKeyOf(c harness.ArtifactCell) trajectory.Key {
 	return trajectory.Key{Protocol: c.Protocol, Family: c.Family, N: c.N,
-		PresumedN: c.PresumedN, Adversary: c.Adversary}
+		PresumedN: c.PresumedN, Adversary: c.Adversary,
+		ProfileMode: c.ProfileMode}
 }
 
 // section reconstructs the sweep structure from the flat cell list, in

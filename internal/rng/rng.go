@@ -55,6 +55,18 @@ func New(seed uint64) *RNG {
 	return &r
 }
 
+// Reseed reinitializes r in place from seed, producing the exact stream
+// New(seed) would. It exists so flat []RNG arenas (one generator per
+// simulated node, allocated in a single slice) can be seeded without a
+// per-element heap allocation: rs[v].Reseed(parent.DeriveSeed(v)) is
+// byte-identical to rs[v] = *parent.Split(v).
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+}
+
 // Split derives an independent child stream keyed by label. Splitting is a
 // pure function of the parent's seed material and the label: it does not
 // advance the parent stream, so the set of children is stable no matter how

@@ -233,3 +233,24 @@ func BenchmarkIntn(b *testing.B) {
 		_ = r.Intn(1000)
 	}
 }
+
+func TestReseedMatchesNewAndSplit(t *testing.T) {
+	var r RNG
+	r.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 16; i++ {
+		if a, b := r.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("draw %d: Reseed stream %d != New stream %d", i, a, b)
+		}
+	}
+
+	parent := New(7)
+	split := parent.Split(3)
+	var inPlace RNG
+	inPlace.Reseed(parent.DeriveSeed(3))
+	for i := 0; i < 16; i++ {
+		if a, b := inPlace.Uint64(), split.Uint64(); a != b {
+			t.Fatalf("draw %d: Reseed(DeriveSeed) %d != Split %d", i, a, b)
+		}
+	}
+}

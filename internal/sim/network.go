@@ -2,7 +2,6 @@ package sim
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -66,8 +65,9 @@ type Network struct {
 	halted    []bool
 	inbox     [][]Packet
 	next      [][]Packet
-	revPort   [][]int32
-	edgeOff   []int // directed edge id of (v, port) = edgeOff[v] + port
+	revPort   []int32 // flat: reverse port of (v, port) = revPort[edgeOff[v]+port]
+	edgeOff   []int   // directed edge id of (v, port) = edgeOff[v] + port
+	rngs      []rng.RNG
 	metrics   Metrics
 	scheduler Scheduler
 	workers   int
@@ -136,6 +136,13 @@ func New(cfg Config, factory Factory) *Network {
 	if scheduler == Sequential && cfg.Parallel {
 		scheduler = WorkerPool
 	}
+	// Struct-of-arrays state: every per-node and per-edge buffer is carved
+	// out of one flat allocation, so building a network is O(m) work with
+	// O(1) allocations per *network*, not per node. The per-node slice
+	// headers keep len 0 / cap deg windows into shared backing arrays;
+	// append within capacity writes into the arena, and the rare protocol
+	// that overflows its window (multi-packet rounds) falls back to a
+	// normal heap-grown slice with identical semantics.
 	nw := &Network{
 		g:         g,
 		machines:  make([]Machine, n),
@@ -143,8 +150,9 @@ func New(cfg Config, factory Factory) *Network {
 		halted:    make([]bool, n),
 		inbox:     make([][]Packet, n),
 		next:      make([][]Packet, n),
-		revPort:   make([][]int32, n),
-		edgeOff:   make([]int, n+1),
+		revPort:   g.ReversePorts(),
+		edgeOff:   g.EdgeOffsets(),
+		rngs:      make([]rng.RNG, n),
 		scheduler: scheduler,
 		workers:   workers,
 		observer:  cfg.Observer,
@@ -152,30 +160,22 @@ func New(cfg Config, factory Factory) *Network {
 	nw.metrics.CongestBits = budget
 
 	root := rng.New(cfg.Seed)
-	off := 0
+	off := nw.edgeOff[n]
+	inboxBuf := make([]Packet, off)
+	nextBuf := make([]Packet, off)
+	outBuf := make([]send, off)
 	for v := 0; v < n; v++ {
 		deg := g.Degree(v)
-		nw.edgeOff[v] = off
-		off += deg
-		rp := make([]int32, deg)
-		for p := 0; p < deg; p++ {
-			w := g.Neighbor(v, p)
-			q := g.PortTo(w, v)
-			if q < 0 {
-				panic(fmt.Sprintf("sim: graph asymmetry at edge %d-%d", v, w))
-			}
-			rp[p] = int32(q)
-		}
-		nw.revPort[v] = rp
+		lo, hi := nw.edgeOff[v], nw.edgeOff[v+1]
 		// Mailboxes and send buffers are sized for one packet per incident
 		// link, the common protocol shape, so steady-state rounds reuse
 		// them without growth.
-		nw.inbox[v] = make([]Packet, 0, deg)
-		nw.next[v] = make([]Packet, 0, deg)
-		nw.ctxs[v] = Context{degree: deg, rng: root.Split(uint64(v)), node: v, rec: cfg.Trace, out: make([]send, 0, deg)}
+		nw.inbox[v] = inboxBuf[lo:lo:hi]
+		nw.next[v] = nextBuf[lo:lo:hi]
+		nw.rngs[v].Reseed(root.DeriveSeed(uint64(v)))
+		nw.ctxs[v] = Context{degree: deg, rng: &nw.rngs[v], node: v, rec: cfg.Trace, out: outBuf[lo:lo:hi]}
 		nw.machines[v] = factory(v, deg, nw.ctxs[v].rng)
 	}
-	nw.edgeOff[n] = off
 	nw.linkHead = make([]int32, off)
 	nw.linkEpoch = make([]uint64, off)
 
@@ -391,13 +391,14 @@ func (nw *Network) route(round int) {
 		}
 		for _, s := range ctx.out {
 			w := nw.g.Neighbor(v, s.port)
-			q := nw.revPort[v][s.port]
+			e := nw.edgeOff[v] + s.port
+			q := nw.revPort[e]
 			bits := s.payload.Bits()
 			nw.metrics.Messages++
 			nw.metrics.Bits += int64(bits)
 			// Link slots are charged before the adversary acts: a dropped
 			// or delayed packet was still transmitted by its sender.
-			nw.addLinkBits(int32(nw.edgeOff[v]+s.port), s.channel, bits)
+			nw.addLinkBits(int32(e), s.channel, bits)
 			delay := 0
 			if nw.adv != nil {
 				drop, d := nw.adv.Fate(round, v, s.port, w)

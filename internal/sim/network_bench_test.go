@@ -131,3 +131,21 @@ func (m *multiChan) Step(ctx *Context, inbox []Packet) {
 	ctx.Send(0, 0, testMsg{v: 2, bits: 4})
 	ctx.Send(0, 1, testMsg{v: 3, bits: 9})
 }
+
+// TestNewAllocationBound pins the struct-of-arrays setup: building a
+// network is a constant number of allocations regardless of node count
+// (plus whatever the factory allocates per machine — zero here, the
+// machine is shared). The generous bound catches a regression back to
+// per-node mailbox/rng/reverse-port allocations, which would scale with n
+// and blow far past it.
+func TestNewAllocationBound(t *testing.T) {
+	g := graph.Cycle(4096)
+	shared := &chatter{channels: 1, msg: &testMsg{v: 1, bits: 8}}
+	factory := func(node, degree int, r *rng.RNG) Machine { return shared }
+	allocs := testing.AllocsPerRun(5, func() {
+		New(Config{Graph: g, Seed: 1}, factory)
+	})
+	if allocs > 64 {
+		t.Fatalf("sim.New allocated %.0f times for n=4096; want O(1) per network (<= 64)", allocs)
+	}
+}

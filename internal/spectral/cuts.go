@@ -125,11 +125,20 @@ func trailingZeros(x uint64) int {
 // conductance bound is within a quadratic factor of optimal; on all the
 // symmetric families in the experiment suite it is exact or near-exact.
 func SweepCut(g *graph.Graph) (phi, iso float64) {
+	if g.N() < 2 {
+		return 0, 0
+	}
+	return sweepCutFrom(g, SecondEigenvector(g))
+}
+
+// sweepCutFrom is SweepCut with the ordering vector supplied by the
+// caller, so a profile that already power-iterated can reuse the
+// eigenvector instead of recomputing it.
+func sweepCutFrom(g *graph.Graph, vec []float64) (phi, iso float64) {
 	n := g.N()
 	if n < 2 {
 		return 0, 0
 	}
-	vec := SecondEigenvector(g)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i

@@ -14,6 +14,30 @@ const eigenIterations = 10000
 // eigenTol is the relative change threshold at which power iteration stops.
 const eigenTol = 1e-12
 
+// estimateEigenTol is the looser stopping threshold of the estimate
+// regime: λ₂ there only parameterizes the tmix fallback and orders the
+// sweep cut, neither of which resolves past ~1e-6.
+const estimateEigenTol = 1e-10
+
+// estimateEigenBudget bounds the estimate regime's power iteration by
+// flops rather than a fixed count: roughly 4·10⁸ edge visits total, so a
+// sparse large graph gets fewer iterations and a small one keeps the full
+// exact-regime budget.
+func estimateEigenBudget(g *graph.Graph) int {
+	work := g.M() + g.N()
+	if work < 1 {
+		work = 1
+	}
+	iters := int(4e8 / float64(work))
+	if iters > eigenIterations {
+		return eigenIterations
+	}
+	if iters < 800 {
+		return 800
+	}
+	return iters
+}
+
 // SecondEigenvalue returns λ₂ of the lazy random-walk matrix of g, the
 // quantity controlling mixing (relaxation) time. Because the walk is lazy,
 // the spectrum is non-negative, so λ₂ is also the second-largest eigenvalue
@@ -28,8 +52,13 @@ func SecondEigenvalue(g *graph.Graph) float64 {
 // walk's right-eigenvector coordinates. Sweep cuts order vertices by it.
 func SecondEigenvector(g *graph.Graph) []float64 {
 	_, vec := secondEigenpair(g)
-	// Map symmetric-space vector y to right eigenvector x = D^{-1/2} y so
-	// that the ordering reflects the diffusion geometry of the walk.
+	return walkCoords(g, vec)
+}
+
+// walkCoords maps a symmetric-space vector y to the walk's right
+// eigenvector x = D^{-1/2} y so that orderings reflect the diffusion
+// geometry of the walk.
+func walkCoords(g *graph.Graph, vec []float64) []float64 {
 	out := make([]float64, len(vec))
 	for v := range vec {
 		d := g.Degree(v)
@@ -50,6 +79,13 @@ func SpectralGap(g *graph.Graph) float64 { return 1 - SecondEigenvalue(g) }
 // deflating the known top eigenvector √deg. Matrix-free, O(m) per
 // iteration.
 func secondEigenpair(g *graph.Graph) (float64, []float64) {
+	return secondEigenpairBudget(g, eigenIterations, eigenTol)
+}
+
+// secondEigenpairBudget is secondEigenpair with an explicit iteration
+// budget and stopping tolerance (the estimate regime trades accuracy for
+// a flop bound; the exact regime keeps the full budget).
+func secondEigenpairBudget(g *graph.Graph, maxIter int, tol float64) (float64, []float64) {
 	n := g.N()
 	if n < 2 {
 		return 0, make([]float64, n)
@@ -70,7 +106,7 @@ func secondEigenpair(g *graph.Graph) (float64, []float64) {
 
 	y := make([]float64, n)
 	lambda := 0.0
-	for iter := 0; iter < eigenIterations; iter++ {
+	for iter := 0; iter < maxIter; iter++ {
 		applyLazySym(g, x, y)
 		orthogonalize(y, top)
 		newLambda := math.Sqrt(dot(y, y))
@@ -81,7 +117,7 @@ func secondEigenpair(g *graph.Graph) (float64, []float64) {
 			y[v] /= newLambda
 		}
 		x, y = y, x
-		if iter > 8 && math.Abs(newLambda-lambda) <= eigenTol*newLambda {
+		if iter > 8 && math.Abs(newLambda-lambda) <= tol*newLambda {
 			return newLambda, x
 		}
 		lambda = newLambda

@@ -19,17 +19,18 @@ const MixingTimeExactLimit = 256
 // the max norm (point-mass starts are the worst case, so checking rows
 // suffices; arbitrary π0 are convex combinations of rows). It brackets t by
 // repeated squaring and then binary-searches inside the bracket. maxT caps
-// the search; if tmix exceeds maxT, maxT is returned (callers treat the cap
-// as "at least this much").
-func MixingTimeExact(g *graph.Graph, maxT int) int {
+// the search; when tmix exceeds it, the result is (maxT, true): an explicit
+// capped flag instead of a sentinel the caller must know, so "at least
+// this much" is never silently mistaken for a measured crossing.
+func MixingTimeExact(g *graph.Graph, maxT int) (tmix int, capped bool) {
 	n := g.N()
 	if n < 2 {
-		return 1
+		return 1, false
 	}
 	pi := Stationary(g)
 	p := LazyWalkMatrix(g)
 	if withinMixingTolerance(p, pi) {
-		return 1
+		return 1, false
 	}
 
 	// Bracket: powers[i] = P^(2^i); find first power that mixes.
@@ -39,7 +40,7 @@ func MixingTimeExact(g *graph.Graph, maxT int) int {
 	t := 1
 	for !withinMixingTolerance(cur, pi) {
 		if t >= maxT {
-			return maxT
+			return maxT, true
 		}
 		cur = cur.Mul(cur)
 		t *= 2
@@ -75,11 +76,11 @@ func MixingTimeExact(g *graph.Graph, maxT int) int {
 		acc = acc.Mul(p)
 		accSteps++
 		if withinMixingTolerance(acc, pi) {
-			return accSteps
+			return accSteps, false
 		}
 	}
 	_ = lo
-	return hi
+	return hi, false
 }
 
 // withinMixingTolerance reports whether every row of p is within 1/(2n) of
@@ -142,13 +143,21 @@ func MixingTimeSpectral(g *graph.Graph) int {
 }
 
 // MixingTime returns the exact mixing time when n is small enough and the
-// spectral estimate otherwise.
+// spectral estimate otherwise. See mixingTimeWithCap for the capped flag.
 func MixingTime(g *graph.Graph) int {
+	t, _ := mixingTimeWithCap(g)
+	return t
+}
+
+// mixingTimeWithCap is the exact-regime dispatcher with the capped flag:
+// exact search up to MixingTimeExactLimit (capped when the generous n²
+// budget is exhausted), spectral estimate above (never capped — it is a
+// closed-form bound, not a search).
+func mixingTimeWithCap(g *graph.Graph) (tmix int, capped bool) {
 	if g.N() <= MixingTimeExactLimit {
 		// Cap exact search generously; cycles need ~n² steps.
 		n := g.N()
-		cap := 8*n*n + 64
-		return MixingTimeExact(g, cap)
+		return MixingTimeExact(g, 8*n*n+64)
 	}
-	return MixingTimeSpectral(g)
+	return MixingTimeSpectral(g), false
 }

@@ -1,0 +1,71 @@
+package spectral
+
+import "fmt"
+
+// Mode selects the profiling regime: the exact reference computations
+// (dense matrix powering for tmix, all-pairs BFS diameter, enumerated
+// cuts at tiny n) or the streaming estimators that never materialize an
+// n×n matrix and keep profiling O(m·polylog) at large n.
+type Mode int
+
+const (
+	// ModeAuto resolves to ModeExact for n <= EstimateThreshold and
+	// ModeEstimate above it. It is the zero value, so callers that do not
+	// care get the exact regime at every historically simulable size and
+	// the streaming regime exactly where exactness stops being affordable.
+	ModeAuto Mode = iota
+	// ModeExact is the legacy reference regime: exact diameter, exact
+	// mixing time up to MixingTimeExactLimit (spectral bound above),
+	// enumerated cuts up to ExactCutLimit (sweep cut above).
+	ModeExact
+	// ModeEstimate is the streaming regime: double-sweep diameter lower
+	// bound, sampled random-walk mixing time, budgeted power iteration,
+	// and sweep cuts — O(m) memory at every size.
+	ModeEstimate
+)
+
+// EstimateThreshold is the largest n at which ModeAuto still profiles
+// exactly. It equals MixingTimeExactLimit: beyond it the exact regime
+// already degrades tmix to a spectral bound while keeping the O(n·m)
+// exact diameter, so estimation is strictly the better trade.
+const EstimateThreshold = MixingTimeExactLimit
+
+// String returns the canonical mode name ("auto", "exact", "estimate") —
+// the string the lebench -profile flag accepts and artifacts record.
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeEstimate:
+		return "estimate"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMode parses a canonical mode name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "exact":
+		return ModeExact, nil
+	case "estimate":
+		return ModeEstimate, nil
+	default:
+		return ModeAuto, fmt.Errorf("spectral: unknown profile mode %q (want auto, exact, or estimate)", s)
+	}
+}
+
+// Resolve maps ModeAuto onto the concrete regime for an n-node graph;
+// explicit modes resolve to themselves. Caches key on the resolved mode,
+// so auto and its resolution share entries.
+func (m Mode) Resolve(n int) Mode {
+	if m == ModeAuto {
+		if n <= EstimateThreshold {
+			return ModeExact
+		}
+		return ModeEstimate
+	}
+	return m
+}

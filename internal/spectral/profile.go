@@ -13,25 +13,55 @@ import (
 type Profile struct {
 	N           int     // nodes
 	M           int     // edges
-	Diameter    int     // exact diameter
+	Diameter    int     // exact diameter (estimate regime: double-sweep lower bound)
 	MinDegree   int     // minimum degree
 	MaxDegree   int     // maximum degree
 	Lambda2     float64 // second eigenvalue of the lazy walk
 	SpectralGap float64 // 1 - Lambda2
-	MixingTime  int     // exact for small n, spectral estimate otherwise
+	MixingTime  int     // exact for small n, sampled/spectral estimate otherwise
 	ExactMixing bool    // whether MixingTime is exact
-	Conductance float64 // Φ(G): exact for n <= ExactCutLimit, else sweep bound
-	Isoperim    float64 // i(G): same regime split as Conductance
-	ExactCuts   bool    // whether Conductance/Isoperim are exact
+	// MixingCapped reports that the mixing-time search hit its step
+	// budget: the exact regime returns the cap as a lower bound, the
+	// estimate regime extrapolates the measured TV decay past its walked
+	// horizon. Either way the value is "at least this much", not a
+	// measured crossing.
+	MixingCapped bool
+	Conductance  float64 // Φ(G): exact for n <= ExactCutLimit, else sweep bound
+	Isoperim     float64 // i(G): same regime split as Conductance
+	ExactCuts    bool    // whether Conductance/Isoperim are exact
+	// Estimated reports that the streaming estimate regime produced this
+	// profile (ModeEstimate, or ModeAuto above EstimateThreshold):
+	// diameter is a lower bound, tmix comes from sampled walks, cuts from
+	// a sweep cut over a budgeted eigenvector.
+	Estimated bool
 }
 
-// ProfileGraph computes a Profile for g. g must be connected; profiling a
-// disconnected graph returns an error because every quantity is degenerate
-// there (tmix = ∞, Φ = 0).
+// ProfileGraph computes the exact-regime Profile for g — the legacy
+// reference path, byte-identical to every profile computed before modes
+// existed. g must be connected; profiling a disconnected graph returns an
+// error because every quantity is degenerate there (tmix = ∞, Φ = 0).
 func ProfileGraph(g *graph.Graph) (*Profile, error) {
+	return ProfileGraphMode(g, ModeExact, 0)
+}
+
+// ProfileGraphMode computes a Profile for g under the given regime. seed
+// feeds the estimate regime's deterministic walk-start sampling (the
+// exact regime ignores it); same (graph, resolved mode, seed) — same
+// profile, bit for bit. The estimate regime never materializes an n×n
+// matrix: every pass is O(m) per step.
+func ProfileGraphMode(g *graph.Graph, mode Mode, seed uint64) (*Profile, error) {
 	if !g.IsConnected() {
 		return nil, fmt.Errorf("spectral: profile requires a connected graph (components=%d)", g.ComponentCount())
 	}
+	if mode.Resolve(g.N()) == ModeEstimate {
+		return estimateProfile(g, seed)
+	}
+	return exactProfile(g)
+}
+
+// exactProfile is the legacy exact regime (dense tmix powering at small
+// n, all-pairs BFS diameter, enumerated cuts at tiny n).
+func exactProfile(g *graph.Graph) (*Profile, error) {
 	p := &Profile{
 		N:         g.N(),
 		M:         g.M(),
@@ -42,20 +72,36 @@ func ProfileGraph(g *graph.Graph) (*Profile, error) {
 	p.Lambda2 = SecondEigenvalue(g)
 	p.SpectralGap = 1 - p.Lambda2
 	p.ExactMixing = g.N() <= MixingTimeExactLimit
-	p.MixingTime = MixingTime(g)
+	p.MixingTime, p.MixingCapped = mixingTimeWithCap(g)
 	p.ExactCuts = g.N() <= ExactCutLimit
 	p.Conductance = Conductance(g)
 	p.Isoperim = Isoperimetric(g)
 	return p, nil
 }
 
+// Mode returns the resolved regime that produced the profile.
+func (p *Profile) Mode() Mode {
+	if p.Estimated {
+		return ModeEstimate
+	}
+	return ModeExact
+}
+
 // String renders the profile as a single aligned block for CLI output.
 func (p *Profile) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d m=%d diameter=%d degree=[%d,%d]\n", p.N, p.M, p.Diameter, p.MinDegree, p.MaxDegree)
+	diam := fmt.Sprintf("diameter=%d", p.Diameter)
+	if p.Estimated {
+		diam = fmt.Sprintf("diameter>=%d", p.Diameter)
+	}
+	fmt.Fprintf(&b, "n=%d m=%d %s degree=[%d,%d]\n", p.N, p.M, diam, p.MinDegree, p.MaxDegree)
 	fmt.Fprintf(&b, "lambda2=%.6f gap=%.6f\n", p.Lambda2, p.SpectralGap)
 	exact := map[bool]string{true: "exact", false: "estimate"}
-	fmt.Fprintf(&b, "tmix=%d (%s)\n", p.MixingTime, exact[p.ExactMixing])
+	capped := ""
+	if p.MixingCapped {
+		capped = ", capped"
+	}
+	fmt.Fprintf(&b, "tmix=%d (%s%s)\n", p.MixingTime, exact[p.ExactMixing], capped)
 	fmt.Fprintf(&b, "conductance=%.6f isoperimetric=%.6f (%s)", p.Conductance, p.Isoperim, exact[p.ExactCuts])
 	return b.String()
 }

@@ -127,16 +127,19 @@ func TestStationaryDistribution(t *testing.T) {
 }
 
 func TestMixingTimeCompleteIsSmall(t *testing.T) {
-	tm := MixingTimeExact(graph.Complete(8), 1000)
+	tm, capped := MixingTimeExact(graph.Complete(8), 1000)
+	if capped {
+		t.Fatal("K8 search unexpectedly capped")
+	}
 	if tm < 1 || tm > 16 {
 		t.Fatalf("K8 mixing time %d out of expected range", tm)
 	}
 }
 
 func TestMixingTimeMonotoneInCycleSize(t *testing.T) {
-	t8 := MixingTimeExact(graph.Cycle(8), 100000)
-	t16 := MixingTimeExact(graph.Cycle(16), 100000)
-	t32 := MixingTimeExact(graph.Cycle(32), 100000)
+	t8, _ := MixingTimeExact(graph.Cycle(8), 100000)
+	t16, _ := MixingTimeExact(graph.Cycle(16), 100000)
+	t32, _ := MixingTimeExact(graph.Cycle(32), 100000)
 	if !(t8 < t16 && t16 < t32) {
 		t.Fatalf("cycle mixing times not increasing: %d %d %d", t8, t16, t32)
 	}
@@ -149,7 +152,7 @@ func TestMixingTimeMonotoneInCycleSize(t *testing.T) {
 
 func TestMixingTimeExactMatchesDefinition(t *testing.T) {
 	g := graph.Cycle(8)
-	tm := MixingTimeExact(g, 10000)
+	tm, _ := MixingTimeExact(g, 10000)
 	pi := Stationary(g)
 	p := LazyWalkMatrix(g)
 	// P^(tm) mixes, P^(tm-1) does not.
@@ -167,14 +170,15 @@ func TestMixingTimeExactMatchesDefinition(t *testing.T) {
 }
 
 func TestMixingTimeExactHonorsCap(t *testing.T) {
-	if got := MixingTimeExact(graph.Cycle(64), 10); got != 10 {
-		t.Fatalf("cap ignored: %d", got)
+	got, capped := MixingTimeExact(graph.Cycle(64), 10)
+	if got != 10 || !capped {
+		t.Fatalf("cap ignored: got %d capped=%v", got, capped)
 	}
 }
 
 func TestMixingTimeSpectralUpperBoundsExact(t *testing.T) {
 	for _, g := range []*graph.Graph{graph.Cycle(16), graph.Complete(12), graph.Hypercube(4)} {
-		exact := MixingTimeExact(g, 1000000)
+		exact, _ := MixingTimeExact(g, 1000000)
 		spec := MixingTimeSpectral(g)
 		if spec < exact {
 			t.Fatalf("spectral estimate %d below exact %d", spec, exact)
@@ -346,7 +350,7 @@ func BenchmarkMixingTimeExact(b *testing.B) {
 	g := graph.Cycle(32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = MixingTimeExact(g, 1<<20)
+		_, _ = MixingTimeExact(g, 1<<20)
 	}
 }
 

@@ -32,11 +32,19 @@ type Key struct {
 	// Adversary is the fault-injection descriptor ("" = fault-free, which
 	// is what every v1/v2 cell aligns as). Schema v3.
 	Adversary string `json:"adversary,omitempty"`
+	// ProfileMode is the resolved profile regime behind the cell's
+	// tmix/Φ/diameter columns ("" = exact, which is what every v1–v3 cell
+	// aligns as). An exact cell and an estimate cell of the same workload
+	// measure against different predicted bounds, so a regime switch
+	// reports as added/removed rather than a false cost regression.
+	// Schema v4.
+	ProfileMode string `json:"profile_mode,omitempty"`
 }
 
 func keyOf(c harness.ArtifactCell) Key {
 	return Key{Protocol: c.Protocol, Family: c.Family, N: c.N,
-		PresumedN: c.PresumedN, Adversary: c.Adversary}
+		PresumedN: c.PresumedN, Adversary: c.Adversary,
+		ProfileMode: c.ProfileMode}
 }
 
 // String renders the key the way the rendered tables name cells.
@@ -47,6 +55,9 @@ func (k Key) String() string {
 	}
 	if k.Adversary != "" {
 		s += fmt.Sprintf(" [%s]", k.Adversary)
+	}
+	if k.ProfileMode != "" {
+		s += fmt.Sprintf(" {%s}", k.ProfileMode)
 	}
 	return s
 }

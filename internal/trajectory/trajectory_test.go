@@ -342,6 +342,47 @@ func TestAdversaryKeyAlignment(t *testing.T) {
 	}
 }
 
+// TestProfileModeKeyAlignment: a cell whose profile regime switched between
+// base and head (exact → estimate, e.g. a sweep crossing the auto threshold)
+// reports as removed+added, never as a cost regression against the
+// other-regime sibling.
+func TestProfileModeKeyAlignment(t *testing.T) {
+	exact := cell("ire", "expander", 300, 5, 5, 100, 1)
+	est := cell("ire", "expander", 300, 5, 5, 180, 1)
+	est.ProfileMode = "estimate"
+
+	// Same workload, different regime: no pairing, no regression.
+	r := Diff(artifact(harness.ArtifactSchema, exact), artifact(harness.ArtifactSchema, est), Thresholds{})
+	if len(r.Cells) != 0 || r.Regressed != 0 {
+		t.Fatalf("regime switch falsely aligned: %+v", r)
+	}
+	if len(r.Removed) != 1 || r.Removed[0].ProfileMode != "" {
+		t.Fatalf("exact cell not reported removed: %+v", r.Removed)
+	}
+	if len(r.Added) != 1 || r.Added[0].ProfileMode != "estimate" {
+		t.Fatalf("estimate cell not reported added: %+v", r.Added)
+	}
+	if !strings.Contains(r.Added[0].String(), "{estimate}") {
+		t.Fatalf("key render missing profile mode: %s", r.Added[0])
+	}
+
+	// Same regime on both sides still aligns cleanly, keeping the mode.
+	r = Diff(artifact(harness.ArtifactSchema, est), artifact(harness.ArtifactSchema, est), Thresholds{})
+	if len(r.Cells) != 1 || len(r.Added)+len(r.Removed) != 0 {
+		t.Fatalf("estimate self-alignment wrong: %+v", r)
+	}
+	if r.Cells[0].Key.ProfileMode != "estimate" {
+		t.Fatalf("aligned key lost its mode: %+v", r.Cells[0].Key)
+	}
+
+	// A v3 base (mode-less cells) aligns against the v4 head's exact cell.
+	v3 := artifact(harness.ArtifactSchemaV3, exact)
+	r = Diff(v3, artifact(harness.ArtifactSchema, exact, est), Thresholds{})
+	if len(r.Cells) != 1 || len(r.Added) != 1 || r.Added[0].ProfileMode != "estimate" {
+		t.Fatalf("v3-vs-v4 alignment wrong: %+v", r)
+	}
+}
+
 // predCell attaches predictions to a cell so the drift classifier engages.
 func predCell(mean, predMsgs, predTime float64) harness.ArtifactCell {
 	c := cell("ire", "expander", 64, 5, 5, mean, 1)

@@ -14,6 +14,7 @@ type options struct {
 	scheduler Scheduler
 	adversary *AdversarySpec
 	observer  func(RoundInfo)
+	profile   ProfileMode
 	proto     core.ProtoConfig
 }
 
@@ -65,6 +66,18 @@ func WithAdversary(spec AdversarySpec) Option {
 // does flows back into the election.
 func WithObserver(fn func(RoundInfo)) Option {
 	return func(o *options) { o.observer = fn }
+}
+
+// WithProfileMode selects the regime used to compute any profiled
+// protocol inputs (mixing time, conductance, diameter) the caller did not
+// supply explicitly: ProfileExact is the legacy dense path, byte-identical
+// to pre-mode releases; ProfileEstimate is the streaming path that scales
+// to millions of nodes; ProfileAuto (the default) picks exact for n ≤ 256
+// and estimate above. Profiles are cached per resolved regime on the
+// Network, so repeated runs share one computation. The resolved mode is
+// recorded in bench artifact cell descriptors.
+func WithProfileMode(mode ProfileMode) Option {
+	return func(o *options) { o.profile = mode }
 }
 
 // WithPresumedN misreports the network size to the protocol: the topology

@@ -10,6 +10,7 @@ import (
 	_ "anonlead/internal/baseline" // registers floodmax/allflood/walknotify
 	"anonlead/internal/core"
 	"anonlead/internal/sim"
+	"anonlead/internal/spectral"
 )
 
 // Canonical names of the registered protocols (see the package docs for
@@ -83,6 +84,13 @@ type Outcome struct {
 	Certificate *Certificate
 	// FinalEstimate is the revocable size estimate at stabilization.
 	FinalEstimate uint64
+
+	// Profile is the structural profile the run was parameterized by, when
+	// one was computed (nil when every profiled input was supplied
+	// explicitly, e.g. via WithMixingTime/WithConductance/WithDiameter —
+	// the run never forces a profile it did not need). The regime follows
+	// WithProfileMode.
+	Profile *Profile
 
 	// Metrics is the simulator's full cost accounting (the headline
 	// counters are also flattened into the embedded Result).
@@ -181,7 +189,7 @@ func (nw *Network) Run(ctx context.Context, protocol string, opts ...Option) (Ou
 		pc.MaxDelay = adv.MaxDelay()
 		pc.Faulted = true
 	}
-	if err := nw.fillProfiled(&pc, entry.Needs); err != nil {
+	if err := nw.fillProfiled(&pc, entry.Needs, o.profile.internal()); err != nil {
 		return Outcome{}, err
 	}
 
@@ -221,6 +229,10 @@ func (nw *Network) Run(ctx context.Context, protocol string, opts ...Option) (Ou
 	}
 
 	out := Outcome{Protocol: entry.Name, Result: Result{Rounds: rounds}}
+	if sp := nw.cachedProfile(o.profile.internal()); sp != nil {
+		pub := publicProfile(sp)
+		out.Profile = &pub
+	}
 	m := net.Metrics()
 	fillMetrics(&out.Result, m)
 	out.Metrics = metricsFromSim(m)
@@ -253,24 +265,24 @@ func (nw *Network) Run(ctx context.Context, protocol string, opts ...Option) (Ou
 
 // fillProfiled fills the profiled graph quantities the protocol declared
 // it needs and the caller did not supply, computing the spectral profile
-// lazily on first use.
-func (nw *Network) fillProfiled(pc *core.ProtoConfig, needs core.Needs) error {
+// lazily on first use under the run's profile mode.
+func (nw *Network) fillProfiled(pc *core.ProtoConfig, needs core.Needs, mode spectral.Mode) error {
 	if needs&core.NeedTMix != 0 && pc.TMix == 0 {
-		prof, err := nw.profile()
+		prof, err := nw.profileMode(mode)
 		if err != nil {
 			return err
 		}
 		pc.TMix = prof.MixingTime
 	}
 	if needs&core.NeedPhi != 0 && pc.Phi == 0 {
-		prof, err := nw.profile()
+		prof, err := nw.profileMode(mode)
 		if err != nil {
 			return err
 		}
 		pc.Phi = prof.Conductance
 	}
 	if needs&core.NeedDiam != 0 && pc.Diam == 0 {
-		prof, err := nw.profile()
+		prof, err := nw.profileMode(mode)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"anonlead/internal/baseline"
 	"anonlead/internal/core"
 	"anonlead/internal/sim"
+	"anonlead/internal/spectral"
 )
 
 func TestProtocolsRegistry(t *testing.T) {
@@ -117,7 +118,7 @@ func TestRunFaultInjectionMatchesInternal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof, err := nw.profile()
+	prof, err := nw.profileMode(spectral.ModeAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
