@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench faults-smoke scaling-smoke bench-artifact benchdiff report baseline lint fmt ci clean
+.PHONY: all build test race bench faults-smoke scaling-smoke bench-artifact benchdiff report baseline sweep-dist series-report lint fmt ci clean
 
 all: build
 
@@ -69,6 +69,29 @@ baseline:
 	$(GO) run ./cmd/lereport -title "anonlead reproduction report — baseline" \
 		-out testdata/REPORT_baseline.md testdata/BENCH_baseline.json
 
+# Distributed sweep + byte-identity proof: shard the gate matrix across
+# two lesweep workers, rerun it single-process with timings stripped, and
+# cmp the two files. Any byte of divergence — seed derivation leaking the
+# worker topology, merge misplacing a cell — fails the target. CI's
+# dist-sweep job runs exactly this.
+sweep-dist:
+	$(GO) run ./cmd/lesweep -workers 2 -quick -json BENCH_dist.json
+	$(GO) run ./cmd/lebench -exp sweeps -quick -parallel -strip-timings -json BENCH_local.json
+	cmp BENCH_dist.json BENCH_local.json
+	@echo "distributed sweep is byte-identical to the local sweep"
+
+# Cross-PR trend report: render the newest artifact plus the trajectory
+# section over the archived series (oldest first — zero-padded run-id file
+# names sort chronologically), failing on any net regressing trend. With
+# fewer than two artifacts there is no trajectory and the gate no-ops.
+# CI's series-gate job downloads prior bench-gate artifacts into
+# $(SERIES_DIR) and runs this.
+SERIES_DIR ?= series
+series-report:
+	$(GO) run ./cmd/lereport -title "Reproduction report (cross-PR series)" \
+		-fail-on regressing \
+		$(sort $(wildcard $(SERIES_DIR)/*.json)) BENCH_harness.json
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -81,5 +104,5 @@ fmt:
 ci: build lint test race bench
 
 clean:
-	rm -f BENCH_harness.json BENCH_scaling.json REPORT.md
+	rm -f BENCH_harness.json BENCH_scaling.json BENCH_dist.json BENCH_local.json REPORT.md
 	$(GO) clean -testcache

@@ -51,6 +51,18 @@
 // -json records every sweep cell executed during the run in a
 // machine-readable artifact for cross-PR perf trajectory tracking
 // (experiments that run no sweeps contribute no cells).
+//
+// -cells turns lebench into a distributed-sweep worker: it selects a
+// subset of the -exp sweeps cell matrix by plan index (the order
+// harness.SweepsPlan fixes, e.g. "0:40" or "3,7:12"), runs exactly those
+// cells, and writes a partial artifact whose plan header records the
+// covered indices. cmd/lesweep shards the matrix this way across worker
+// processes and merges the partials with harness.MergeArtifacts; because
+// per-trial seeds are pure functions of the root seed and the cell, the
+// merged artifact is byte-identical to a single-process sweep.
+// -strip-timings zeroes the artifact's wall-clock fields so two
+// deterministic sweeps can be compared with cmp (what the CI dist-sweep
+// job does).
 package main
 
 import (
@@ -80,9 +92,13 @@ type session struct {
 	profile  spectral.Mode
 	orch     harness.Orchestrator
 	jsonPath string
+	strip    bool
 
 	specs []harness.CellSpec
 	cells []harness.Cell
+	// plan is the coverage header of a -cells partial run (nil for full
+	// sweeps).
+	plan  *harness.ArtifactPlan
 	start time.Time
 }
 
@@ -122,6 +138,8 @@ func run() error {
 		workers  = flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
 		jsonPath = flag.String("json", "", "write the machine-readable sweep artifact (e.g. BENCH_harness.json)")
 		profile  = flag.String("profile", "auto", "spectral profile regime for sweep cells: exact, estimate, or auto (exact up to n=256, estimate above)")
+		cells    = flag.String("cells", "", "run only these -exp sweeps plan indices (e.g. \"0:40\" or \"3,7:12\") and write a partial artifact — the distributed-sweep worker mode")
+		strip    = flag.Bool("strip-timings", false, "zero the artifact's wall-clock fields so deterministic sweeps compare with cmp")
 	)
 	flag.Parse()
 
@@ -137,7 +155,20 @@ func run() error {
 		profile:  mode,
 		orch:     harness.Orchestrator{Workers: *workers, Shards: *shards},
 		jsonPath: *jsonPath,
+		strip:    *strip,
 		start:    time.Now(),
+	}
+
+	if *cells != "" {
+		// Worker mode: the cell selector is resolved against the sweeps
+		// plan, so it only makes sense for the artifact matrix.
+		if *exp != "sweeps" {
+			return fmt.Errorf("-cells selects from the -exp sweeps plan; pass -exp sweeps (got %q)", *exp)
+		}
+		if err := runSelected(s, *cells); err != nil {
+			return err
+		}
+		return writeArtifact(s, *exp)
 	}
 
 	switch *exp {
@@ -171,30 +202,61 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if s.jsonPath != "" {
-		if len(s.cells) == 0 {
-			fmt.Fprintf(os.Stderr, "lebench: note: -exp %s ran no sweeps, so the artifact has no cells (table1 and knowledge populate it)\n", *exp)
-		}
-		// Record the engine the cells actually ran on: a sequential run is
-		// one worker and one shard regardless of how the pool is sized.
-		engine := s.orch
-		if !s.parallel {
-			engine = harness.Orchestrator{Workers: 1, Shards: 1}
-		}
-		artifact := harness.NewArtifact(engine, s.specs, s.cells, time.Since(s.start))
-		if err := artifact.WriteFile(s.jsonPath); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s (%d cells)\n", s.jsonPath, len(s.cells))
+	return writeArtifact(s, *exp)
+}
+
+// writeArtifact emits the session's accumulated sweep cells as the JSON
+// artifact (a no-op without -json).
+func writeArtifact(s *session, exp string) error {
+	if s.jsonPath == "" {
+		return nil
 	}
+	if len(s.cells) == 0 {
+		fmt.Fprintf(os.Stderr, "lebench: note: -exp %s ran no sweeps, so the artifact has no cells (table1 and knowledge populate it)\n", exp)
+	}
+	// Record the engine the cells actually ran on: a sequential run is
+	// one worker and one shard regardless of how the pool is sized.
+	engine := s.orch
+	if !s.parallel {
+		engine = harness.Orchestrator{Workers: 1, Shards: 1}
+	}
+	artifact := harness.NewArtifact(engine, s.specs, s.cells, time.Since(s.start))
+	artifact.Plan = s.plan
+	if s.strip {
+		artifact = artifact.StripTimings()
+	}
+	if err := artifact.WriteFile(s.jsonPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells)\n", s.jsonPath, len(s.cells))
 	return nil
 }
 
-func pick(quick bool, full, reduced []int) []int {
-	if quick {
-		return reduced
+// runSelected is the distributed-sweep worker path: resolve the -cells
+// selector against the canonical sweeps plan, run exactly the selected
+// cells (no rendering — the coordinator merges and reports), and record
+// the covered plan indices for the artifact's plan header.
+func runSelected(s *session, selector string) error {
+	sel, err := harness.ParseCellSelector(selector)
+	if err != nil {
+		return err
 	}
-	return full
+	plan := harness.SweepsPlan(s.quick, s.trials, s.seed)
+	idxs, err := sel.Indices(plan.Len())
+	if err != nil {
+		return err
+	}
+	all := plan.Specs()
+	specs := make([]harness.CellSpec, len(idxs))
+	for j, idx := range idxs {
+		specs[j] = all[idx]
+	}
+	if _, err := s.sweep(specs); err != nil {
+		return err
+	}
+	s.plan = &harness.ArtifactPlan{Total: plan.Len(), Indices: idxs}
+	fmt.Printf("ran %d of %d planned sweep cells (-cells %s)\n", len(idxs), plan.Len(), sel)
+	return nil
 }
 
 func pickTrials(override, def int) int {
@@ -206,87 +268,28 @@ func pickTrials(override, def int) int {
 
 // table1 regenerates the Table 1 rows: T1-a (IRE), T1-b (Gilbert-class),
 // T1-c (flooding class), T1-d (revocable), plus the diameter-2
-// clique-of-cliques cells motivated by the Chatterjee et al. chasm. All
-// sweeps are expanded into one spec list so -parallel overlaps every cell.
-//
-// The -quick defaults were promoted once the orchestrator made larger
-// sweeps affordable: 8 trials per cell (was 5) and one more size step per
-// family (expanders to n=256, cycles to 96, complete to 128, diam2 to
-// 129). CI's bench-gate runs this matrix, so the quick cells double as the
-// regression-gate workload — changing them requires regenerating
-// testdata/BENCH_baseline.json (make baseline).
+// clique-of-cliques cells motivated by the Chatterjee et al. chasm. The
+// matrix itself lives in harness.Table1Plan — the shared planner the
+// distributed sweep shards by index — so the rendered tables and a
+// worker's -cells subset can never drift apart. All sections are expanded
+// into one spec list so -parallel overlaps every cell.
 func table1(s *session) error {
-	trials := pickTrials(s.trials, 10)
-	if s.quick {
-		trials = pickTrials(s.trials, 8)
-	}
-	opts := harness.TrialOpts{Trials: trials, Seed: s.seed}
-	type sweep struct {
-		title  string
-		proto  harness.Protocol
-		family string
-		sizes  []int
-	}
-	sweeps := []sweep{
-		{"T1-a IRE (this work) on expanders", harness.ProtoIRE, "expander",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
-		{"T1-a IRE (this work) on hypercubes", harness.ProtoIRE, "hypercube",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
-		{"T1-a IRE (this work) on cycles", harness.ProtoIRE, "cycle",
-			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64, 96})},
-		{"T1-a IRE (this work) on complete graphs", harness.ProtoIRE, "complete",
-			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64, 128})},
-		{"T1-a IRE (this work) on diameter-2 clique-of-cliques", harness.ProtoIRE, "diam2",
-			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65, 129})},
-		{"T1-b Gilbert-class baseline on expanders", harness.ProtoWalkNotify, "expander",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
-		{"T1-b Gilbert-class baseline on cycles", harness.ProtoWalkNotify, "cycle",
-			pick(s.quick, []int{16, 32, 64, 96, 128}, []int{16, 32, 64, 96})},
-		{"T1-c FloodMax (Kutten-class) on expanders", harness.ProtoFlood, "expander",
-			pick(s.quick, []int{32, 64, 128, 256, 512}, []int{32, 64, 128, 256})},
-		{"T1-c FloodMax (Kutten-class) on complete graphs", harness.ProtoFlood, "complete",
-			pick(s.quick, []int{32, 64, 128, 256}, []int{32, 64, 128})},
-		{"T1-c FloodMax (Kutten-class) on diameter-2 clique-of-cliques", harness.ProtoFlood, "diam2",
-			pick(s.quick, []int{33, 65, 129, 257}, []int{33, 65, 129})},
-	}
-
-	// One flat spec list; remember each sweep's slice for rendering.
+	sections := harness.Table1Plan(s.quick, s.trials, s.seed)
 	var specs []harness.CellSpec
-	bounds := make([][2]int, len(sweeps))
-	for i, sw := range sweeps {
+	bounds := make([][2]int, len(sections))
+	for i, sec := range sections {
 		lo := len(specs)
-		specs = append(specs, harness.SweepSpecs(sw.proto, sw.family, sw.sizes, opts)...)
+		specs = append(specs, sec.Specs...)
 		bounds[i] = [2]int{lo, len(specs)}
 	}
 	cells, err := s.sweep(specs)
 	if err != nil {
 		return err
 	}
-	for i, sw := range sweeps {
+	for i, sec := range sections {
 		rows := harness.RowsFromCells(cells[bounds[i][0]:bounds[i][1]])
-		fmt.Println(harness.RenderTable1(sw.title, rows))
+		fmt.Println(harness.RenderTable1(sec.Title, rows))
 	}
-	return revocableRows(s)
-}
-
-// revocableRows regenerates T1-d: the revocable protocol at faithful
-// parameters on tiny complete graphs (where the Theorem 3 polynomials are
-// simulable) and calibrated on cycles.
-func revocableRows(s *session) error {
-	// Quick keeps 6 trials: below that the Wilson intervals of a full
-	// success collapse (k/k -> 0/k) still overlap, so the benchdiff
-	// success gate would be vacuous on these cells.
-	trials := pickTrials(s.trials, 6)
-	sizes := pick(s.quick, []int{3, 4, 6, 8}, []int{3, 4, 6})
-	// The profile's exact i(G) selects the Theorem 3 schedule.
-	opts := harness.TrialOpts{Trials: trials, Seed: s.seed, RevocableUseProfileIso: true}
-	cells, err := s.sweep(harness.SweepSpecs(harness.ProtoRevocable, "complete", sizes, opts))
-	if err != nil {
-		return err
-	}
-	fmt.Println(harness.RenderTable1(
-		"T1-d Revocable LE (this work, faithful Theorem 3 schedule) on complete graphs",
-		harness.RowsFromCells(cells)))
 	return nil
 }
 
@@ -350,16 +353,12 @@ func ablations(s *session) error {
 // fault-free anchor. The quick matrix is part of the artifact cells CI's
 // bench-gate diffs, so resilience regressions gate like any other metric.
 func faults(s *session) error {
-	trials := pickTrials(s.trials, 10)
-	if s.quick {
-		trials = pickTrials(s.trials, 6)
-	}
-	for _, f := range harness.FaultSweeps(s.quick) {
-		cells, err := s.sweep(f.CellSpecs(trials, s.seed))
+	for _, sec := range harness.FaultsPlan(s.quick, s.trials, s.seed) {
+		cells, err := s.sweep(sec.Specs)
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderFaults(f, cells))
+		fmt.Println(harness.RenderFaults(sec.Fault, cells))
 	}
 	return nil
 }
@@ -400,27 +399,17 @@ func scaling(s *session) error {
 }
 
 // knowledge regenerates the X4 knowledge ablation (after Dieudonné-Pelc)
-// on an expander and on the diameter-2 clique-of-cliques.
+// on an expander and on the diameter-2 clique-of-cliques (the workloads
+// and factors live in harness.KnowledgePlan, shared with the distributed
+// sweep's cell matrix).
 func knowledge(s *session) error {
-	trials := pickTrials(s.trials, 10)
-	if s.quick {
-		trials = pickTrials(s.trials, 6)
-	}
-	factors := []float64{0.25, 0.5, 1, 2, 4}
-	// Quick used to shrink to expander/64 and diam2/33; the orchestrator
-	// made the full-size cells cheap enough to keep everywhere.
-	workloads := []harness.Workload{
-		{Family: "expander", N: 128},
-		{Family: "diam2", N: 65},
-	}
-	for _, w := range workloads {
-		specs := harness.KnowledgeSpecs(w, factors, trials, s.seed)
-		cells, err := s.sweep(specs)
+	for _, sec := range harness.KnowledgePlan(s.quick, s.trials, s.seed) {
+		cells, err := s.sweep(sec.Specs)
 		if err != nil {
 			return err
 		}
-		points, prof := harness.KnowledgePoints(factors, specs, cells)
-		fmt.Println(harness.RenderAblationKnowledge(w, prof, points))
+		points, prof := harness.KnowledgePoints(sec.Factors, sec.Specs, cells)
+		fmt.Println(harness.RenderAblationKnowledge(sec.Workload, prof, points))
 	}
 	return nil
 }

@@ -14,6 +14,7 @@
 //	lereport -format csv BENCH_harness.json          # tidy per-(cell,metric) rows
 //	lereport old.json mid.json new.json              # series: newest reported + trends
 //	lereport -rel-tol 0.1 -sigmas 2 a.json b.json    # looser trend thresholds
+//	lereport -fail-on regressing a.json b.json       # exit 1 when a net trend regresses
 //
 // Arguments are artifact files in chronological order, oldest first. With
 // one artifact the report has no trend section; with two or more, the
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		title   = fs.String("title", "", "report title (default \"Reproduction report\")")
 		relTol  = fs.Float64("rel-tol", 0, "series trend: minimum relative effect to call a change (0 = default 0.05)")
 		sigmas  = fs.Float64("sigmas", 0, "series trend: minimum effect in Welch standard errors (0 = default 3)")
+		failOn  = fs.String("fail-on", "none", "exit-1 condition: none, or regressing (any net metric trend regresses; needs a series)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: lereport [flags] artifact.json [older.json ... newest.json]\n\n"+
@@ -73,6 +75,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *format != "md" && *format != "csv" {
 		fmt.Fprintf(stderr, "lereport: unknown -format %q (want md or csv)\n", *format)
+		return 2
+	}
+	if *failOn != "none" && *failOn != "regressing" {
+		fmt.Fprintf(stderr, "lereport: unknown -fail-on condition %q (want none or regressing)\n", *failOn)
 		return 2
 	}
 	opts := report.Options{
@@ -113,8 +119,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *outPath)
-		return 0
+	} else {
+		fmt.Fprint(stdout, out)
 	}
-	fmt.Fprint(stdout, out)
+	// The trend gate: a single artifact has no trajectory (rep.Trends is
+	// nil), so the series-gate CI job no-ops gracefully until enough
+	// archived artifacts accumulate.
+	if *failOn == "regressing" && rep.Trends != nil && rep.Trends.HasRegressions() {
+		fmt.Fprintf(stderr, "lereport: %d metric trend(s) regressing across the series\n", rep.Trends.Regressing)
+		return 1
+	}
 	return 0
 }

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// MergeArtifacts reassembles the partial artifacts of a distributed sweep
+// into the one artifact a single process would have written for the same
+// plan and seed. Each partial must carry an ArtifactPlan header naming
+// the plan indices of its cells; the merge places every cell at its plan
+// index and demands exact coverage:
+//
+//   - mixed schema versions (e.g. a v3 partial among v4) are rejected —
+//     cell layouts differ, so a merged file would lie about its schema;
+//   - partials of different root seeds are rejected — their cells belong
+//     to different sweeps;
+//   - the same plan index delivered twice with byte-identical content is
+//     tolerated (a retried worker overlapping its crashed attempt), but
+//     two different cells for one index are a conflict and an error;
+//   - gaps (plan indices no partial covered) are an error.
+//
+// The merged artifact has its wall-clock fields zeroed and no Plan
+// header: it is deterministic content only, byte-identical to the
+// single-process artifact of the same seed after StripTimings. Worker and
+// shard counts are taken from the partials when they all agree (the
+// same-machine case CI's byte-identity gate runs) and zeroed otherwise.
+func MergeArtifacts(parts []Artifact) (Artifact, error) {
+	if len(parts) == 0 {
+		return Artifact{}, fmt.Errorf("harness: merge: no partial artifacts")
+	}
+
+	schema, total := "", -1
+	for i, p := range parts {
+		if p.Plan == nil {
+			return Artifact{}, fmt.Errorf("harness: merge: partial %d has no plan header (not a -cells artifact?)", i)
+		}
+		if len(p.Plan.Indices) != len(p.Cells) {
+			return Artifact{}, fmt.Errorf("harness: merge: partial %d covers %d plan indices but carries %d cells",
+				i, len(p.Plan.Indices), len(p.Cells))
+		}
+		if schema == "" {
+			schema = p.Schema
+		} else if p.Schema != schema {
+			return Artifact{}, fmt.Errorf("harness: merge: schema mismatch: partial %d is %q, earlier partials are %q",
+				i, p.Schema, schema)
+		}
+		if total < 0 {
+			total = p.Plan.Total
+		} else if p.Plan.Total != total {
+			return Artifact{}, fmt.Errorf("harness: merge: plan size mismatch: partial %d plans %d cells, earlier partials plan %d",
+				i, p.Plan.Total, total)
+		}
+	}
+
+	merged := Artifact{Schema: schema, Cells: make([]ArtifactCell, total)}
+	filled := make([]bool, total)
+	seenSeed, seenEngine := false, false
+	for i, p := range parts {
+		// Empty partials (a worker handed no cells) carry no root seed or
+		// meaningful engine; they only contribute their plan agreement.
+		if len(p.Cells) > 0 {
+			if !seenSeed {
+				merged.RootSeed, seenSeed = p.RootSeed, true
+			} else if p.RootSeed != merged.RootSeed {
+				return Artifact{}, fmt.Errorf("harness: merge: root seed mismatch: partial %d ran seed %d, earlier partials ran %d",
+					i, p.RootSeed, merged.RootSeed)
+			}
+			if !seenEngine {
+				merged.Workers, merged.Shards, seenEngine = p.Workers, p.Shards, true
+			} else if p.Workers != merged.Workers || p.Shards != merged.Shards {
+				// Heterogeneous engines (a cross-machine sweep): no single
+				// honest value exists, so record none.
+				merged.Workers, merged.Shards = 0, 0
+			}
+		}
+		for j, idx := range p.Plan.Indices {
+			if idx < 0 || idx >= total {
+				return Artifact{}, fmt.Errorf("harness: merge: partial %d covers plan index %d, outside the %d-cell plan",
+					i, idx, total)
+			}
+			if filled[idx] {
+				if !cellsEqual(merged.Cells[idx], p.Cells[j]) {
+					return Artifact{}, fmt.Errorf("harness: merge: conflicting cells for plan index %d (%s %s/%d): two partials measured different values",
+						idx, p.Cells[j].Protocol, p.Cells[j].Family, p.Cells[j].N)
+				}
+				continue // identical duplicate: an idempotent retry overlap
+			}
+			merged.Cells[idx] = p.Cells[j]
+			filled[idx] = true
+		}
+	}
+
+	var missing []int
+	for idx, ok := range filled {
+		if !ok {
+			missing = append(missing, idx)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		shown := missing
+		if len(shown) > 10 {
+			shown = shown[:10]
+		}
+		return Artifact{}, fmt.Errorf("harness: merge: %d of %d plan cells missing from the partials (indices %v%s)",
+			len(missing), total, shown, ellipsis(len(missing) > len(shown)))
+	}
+	return merged, nil
+}
+
+func ellipsis(more bool) string {
+	if more {
+		return " …"
+	}
+	return ""
+}
+
+// cellsEqual compares two artifact cells via their canonical JSON — the
+// same bytes the artifact persists, so "equal" means exactly what the
+// byte-identity guarantee means.
+func cellsEqual(a, b ArtifactCell) bool {
+	ab, errA := json.Marshal(a)
+	bb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && bytes.Equal(ab, bb)
+}
