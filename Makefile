@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench faults-smoke scaling-smoke bench-artifact benchdiff report baseline sweep-dist series-report lint fmt ci clean
+.PHONY: all build test race bench faults-smoke scaling-smoke obs-smoke bench-artifact benchdiff report baseline sweep-dist series-report lint fmt ci clean
 
 all: build
 
@@ -17,9 +17,11 @@ test:
 
 # Race-detector pass over the concurrent subsystems (simulator schedulers
 # — actors lifecycle and tracing included — the experiment orchestrator,
-# and the adversary layer they both drive).
+# the adversary layer they both drive, the trace recorders, the telemetry
+# registry, and the sweep coordinator).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/adversary/...
+	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/adversary/... \
+		./internal/trace/... ./internal/obs/... ./internal/sweep/...
 
 # Bench smoke: every benchmark once. BenchmarkHarnessSweep writes
 # BENCH_harness.json, which CI uploads for cross-PR perf tracking.
@@ -39,6 +41,19 @@ faults-smoke:
 # next to BENCH_harness.json.
 scaling-smoke:
 	$(GO) run ./cmd/lebench -exp scaling -quick -json BENCH_scaling.json
+
+# Observability smoke: the quick gate sweep with telemetry fully on —
+# per-round histograms in the artifact, phase spans as a Chrome trace, a
+# CPU profile, and the metrics snapshot rendered into the phase-breakdown
+# table. CI's bench-smoke job runs this and archives the outputs; the
+# files are also the easiest local entry into "where does a sweep spend
+# its time" (open TRACE_lebench.json in Perfetto, `go tool pprof
+# CPU_lebench.pprof`).
+obs-smoke:
+	$(GO) run ./cmd/lebench -exp sweeps -quick -parallel -round-profile \
+		-trace-out TRACE_lebench.json -metrics-out OBS_metrics.json \
+		-cpuprofile CPU_lebench.pprof -json BENCH_obs.json
+	$(GO) run ./cmd/lereport -phases OBS_metrics.json -out REPORT_obs.md BENCH_obs.json
 
 # The regression-gate sweep: every artifact cell (Table 1 + the X4
 # knowledge ablation + the fault-injection resilience curves) at the
@@ -105,4 +120,5 @@ ci: build lint test race bench
 
 clean:
 	rm -f BENCH_harness.json BENCH_scaling.json BENCH_dist.json BENCH_local.json REPORT.md
+	rm -f BENCH_obs.json TRACE_lebench.json OBS_metrics.json CPU_lebench.pprof REPORT_obs.md
 	$(GO) clean -testcache

@@ -26,6 +26,9 @@ import (
 	"anonlead/internal/core"
 	"anonlead/internal/graph"
 	"anonlead/internal/harness"
+	"anonlead/internal/obs"
+	"anonlead/internal/rng"
+	"anonlead/internal/sim"
 	"anonlead/internal/spectral"
 )
 
@@ -303,6 +306,88 @@ func BenchmarkHarnessSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+}
+
+// obsPayload/obsChatter replicate the sim package's internal chatter
+// benchmark machine from outside: every node broadcasts one shared fixed
+// payload per round and never halts, so steady-state Step cost is pure
+// simulator round loop with no protocol logic.
+type obsPayload struct{ bits int }
+
+func (p *obsPayload) Bits() int { return p.bits }
+
+type obsChatter struct{ msg *obsPayload }
+
+func (m *obsChatter) Init(ctx *sim.Context) {}
+
+func (m *obsChatter) Step(ctx *sim.Context, inbox []sim.Packet) { ctx.Broadcast(m.msg) }
+
+func obsChatterFactory() sim.Factory {
+	msg := &obsPayload{bits: 16}
+	return func(node, degree int, r *rng.RNG) sim.Machine { return &obsChatter{msg: msg} }
+}
+
+// roundProfileObserver is the harness's observer adapter shape: cumulative
+// sim metrics in, per-round deltas into an obs.RoundProfile.
+func roundProfileObserver(rp *obs.RoundProfile) func(sim.RoundInfo) {
+	o := rp.RoundObserver()
+	return func(ri sim.RoundInfo) { o(ri.Metrics.Messages, int64(ri.Halted)) }
+}
+
+// TestRoundLoopZeroAllocObservabilityDisabled is the PR-8 regression
+// guard: adding the telemetry subsystem must not cost the round loop its
+// steady-state zero-allocation property when observability is off (the
+// default). It also pins the disabled obs entry points themselves —
+// Span and the counters are what the harness calls around every cell.
+func TestRoundLoopZeroAllocObservabilityDisabled(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("observability enabled at test start; guard must measure the default-off path")
+	}
+	nw := sim.New(sim.Config{Graph: graph.Torus(8, 8)}, obsChatterFactory())
+	nw.Run(8) // warm mailboxes, send buffers, accounting chains
+	if avg := testing.AllocsPerRun(50, func() { nw.Step() }); avg > 0.5 {
+		t.Fatalf("steady-state round allocates %.1f objects with observability disabled, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { obs.Span("trials")() }); avg > 0 {
+		t.Fatalf("disabled obs.Span allocates %.1f objects, want 0", avg)
+	}
+}
+
+// TestRoundLoopObservedAllocBound bounds the enabled-path overhead: with a
+// round-profile observer attached (the heaviest per-round consumer the
+// harness installs), a warmed round must still allocate nothing — the
+// profile's buckets are fixed arrays and the observer adapter passes
+// structs by value.
+func TestRoundLoopObservedAllocBound(t *testing.T) {
+	rp := &obs.RoundProfile{}
+	nw := sim.New(sim.Config{
+		Graph:    graph.Torus(8, 8),
+		Observer: roundProfileObserver(rp),
+	}, obsChatterFactory())
+	nw.Run(8)
+	if avg := testing.AllocsPerRun(50, func() { nw.Step() }); avg > 0.5 {
+		t.Fatalf("observed round allocates %.1f objects/round, want 0", avg)
+	}
+	if rp.Rounds == 0 || rp.TotalMsgs == 0 {
+		t.Fatalf("observer fed no data: %+v", rp)
+	}
+}
+
+// BenchmarkNetworkRoundObserved measures the absolute round-loop overhead
+// of the round-profile observer against the sim package's bare
+// BenchmarkNetworkRound numbers.
+func BenchmarkNetworkRoundObserved(b *testing.B) {
+	rp := &obs.RoundProfile{}
+	nw := sim.New(sim.Config{
+		Graph:    graph.Torus(16, 16),
+		Observer: roundProfileObserver(rp),
+	}, obsChatterFactory())
+	nw.Run(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step()
+	}
 }
 
 // BenchmarkAblationDiffusion measures the exact diffusion detector sweep

@@ -41,7 +41,7 @@
 // (dense matrices, the committed baselines), estimate (streaming, scales
 // past dense sizes), or auto (the default: exact up to n = 256, estimate
 // above). The resolved regime is part of each cell's identity in the
-// schema-v4 artifact, so a regime switch diffs as added/removed cells.
+// schema-v5 artifact, so a regime switch diffs as added/removed cells.
 //
 // With -parallel, the sweep-based experiments (table1, knowledge, faults)
 // fan their cells and per-cell trials out over a bounded worker pool;
@@ -63,15 +63,29 @@
 // -strip-timings zeroes the artifact's wall-clock fields so two
 // deterministic sweeps can be compared with cmp (what the CI dist-sweep
 // job does).
+//
+// Observability (see docs/ARCHITECTURE.md "Observability"): -round-profile
+// attaches deterministic per-round message/halt histograms to every sweep
+// cell (the schema-v5 round_profile artifact section); -trace-out FILE
+// writes the run's phase spans as Chrome trace-event JSON for
+// chrome://tracing or Perfetto; -metrics-out FILE dumps the metrics
+// registry as JSON (lereport -phases renders it as a phase-breakdown
+// table); -debug-addr ADDR serves /metrics, /debug/pprof/* and
+// /debug/progress while the run executes; -cpuprofile FILE records a CPU
+// pprof profile. None of these perturb measurements: spans and metrics
+// are wall-clock side channels, and round profiles are integer-exact and
+// scheduler-independent.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"anonlead/internal/harness"
+	"anonlead/internal/obs"
 	"anonlead/internal/spectral"
 )
 
@@ -85,14 +99,15 @@ func main() {
 // session carries the flag configuration plus the accumulated sweep
 // results destined for the JSON artifact.
 type session struct {
-	quick    bool
-	trials   int
-	seed     uint64
-	parallel bool
-	profile  spectral.Mode
-	orch     harness.Orchestrator
-	jsonPath string
-	strip    bool
+	quick     bool
+	trials    int
+	seed      uint64
+	parallel  bool
+	profile   spectral.Mode
+	orch      harness.Orchestrator
+	jsonPath  string
+	strip     bool
+	roundProf bool
 
 	specs []harness.CellSpec
 	cells []harness.Cell
@@ -109,6 +124,9 @@ type session struct {
 func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
 	for i := range specs {
 		specs[i].Opts.ProfileMode = s.profile
+		if s.roundProf {
+			specs[i].Opts.RoundProfile = true
+		}
 	}
 	var (
 		cells []harness.Cell
@@ -129,17 +147,22 @@ func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, faults, sweeps, scaling, all")
-		quick    = flag.Bool("quick", false, "reduced sweeps for a fast pass")
-		trials   = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
-		seed     = flag.Uint64("seed", 1, "root random seed")
-		parallel = flag.Bool("parallel", false, "fan sweep cells and trials over a worker pool (table1 and knowledge; bit-identical to sequential)")
-		shards   = flag.Int("shards", 0, "trial shards per cell for -parallel (0 = worker count)")
-		workers  = flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
-		jsonPath = flag.String("json", "", "write the machine-readable sweep artifact (e.g. BENCH_harness.json)")
-		profile  = flag.String("profile", "auto", "spectral profile regime for sweep cells: exact, estimate, or auto (exact up to n=256, estimate above)")
-		cells    = flag.String("cells", "", "run only these -exp sweeps plan indices (e.g. \"0:40\" or \"3,7:12\") and write a partial artifact — the distributed-sweep worker mode")
-		strip    = flag.Bool("strip-timings", false, "zero the artifact's wall-clock fields so deterministic sweeps compare with cmp")
+		exp        = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, faults, sweeps, scaling, all")
+		quick      = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+		trials     = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
+		seed       = flag.Uint64("seed", 1, "root random seed")
+		parallel   = flag.Bool("parallel", false, "fan sweep cells and trials over a worker pool (table1 and knowledge; bit-identical to sequential)")
+		shards     = flag.Int("shards", 0, "trial shards per cell for -parallel (0 = worker count)")
+		workers    = flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "", "write the machine-readable sweep artifact (e.g. BENCH_harness.json)")
+		profile    = flag.String("profile", "auto", "spectral profile regime for sweep cells: exact, estimate, or auto (exact up to n=256, estimate above)")
+		cells      = flag.String("cells", "", "run only these -exp sweeps plan indices (e.g. \"0:40\" or \"3,7:12\") and write a partial artifact — the distributed-sweep worker mode")
+		strip      = flag.Bool("strip-timings", false, "zero the artifact's wall-clock fields so deterministic sweeps compare with cmp")
+		roundProf  = flag.Bool("round-profile", false, "attach deterministic per-round message/halt histograms to every sweep cell (schema-v5 round_profile section)")
+		traceOut   = flag.String("trace-out", "", "write the run's phase spans as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write the metrics-registry snapshot as JSON (render with lereport -phases)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/* and /debug/progress on this address while the run executes (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU pprof profile of the run")
 	)
 	flag.Parse()
 
@@ -147,17 +170,40 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	s := &session{
-		quick:    *quick,
-		trials:   *trials,
-		seed:     *seed,
-		parallel: *parallel,
-		profile:  mode,
-		orch:     harness.Orchestrator{Workers: *workers, Shards: *shards},
-		jsonPath: *jsonPath,
-		strip:    *strip,
-		start:    time.Now(),
+	if *traceOut != "" || *metricsOut != "" || *debugAddr != "" {
+		obs.Enable()
 	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr, nil)
+		if err != nil {
+			return fmt.Errorf("debug endpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "lebench: debug endpoint on http://%s\n", addr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	s := &session{
+		quick:     *quick,
+		trials:    *trials,
+		seed:      *seed,
+		parallel:  *parallel,
+		profile:   mode,
+		orch:      harness.Orchestrator{Workers: *workers, Shards: *shards},
+		jsonPath:  *jsonPath,
+		strip:     *strip,
+		roundProf: *roundProf,
+		start:     time.Now(),
+	}
+	defer writeTelemetry(*traceOut, *metricsOut)
 
 	if *cells != "" {
 		// Worker mode: the cell selector is resolved against the sweeps
@@ -203,6 +249,26 @@ func run() error {
 		return err
 	}
 	return writeArtifact(s, *exp)
+}
+
+// writeTelemetry flushes the run's telemetry side channels (a no-op when
+// the flags are empty). Failures are warnings: telemetry must never turn
+// a finished sweep into a failed run.
+func writeTelemetry(traceOut, metricsOut string) {
+	if traceOut != "" {
+		if err := obs.WriteChromeTraceFile(traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "lebench: trace-out:", err)
+		} else {
+			fmt.Printf("wrote %s (%d spans)\n", traceOut, len(obs.SpanEvents()))
+		}
+	}
+	if metricsOut != "" {
+		if err := obs.WriteSnapshotFile(metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "lebench: metrics-out:", err)
+		} else {
+			fmt.Printf("wrote %s\n", metricsOut)
+		}
+	}
 }
 
 // writeArtifact emits the session's accumulated sweep cells as the JSON

@@ -20,8 +20,14 @@
 // one artifact the report has no trend section; with two or more, the
 // report describes the newest artifact and appends the trajectory
 // section (cells must be present at every series point to be classified;
-// the rest are listed as partial). v1/v2/v3 artifact schemas are all
+// the rest are listed as partial). v1 through v5 artifact schemas are all
 // accepted, with v1 cells classifying on the relative tolerance alone.
+//
+// -phases FILE appends a phase-breakdown table (phase | spans | total |
+// mean | share) rendered from an obs metrics snapshot — the -metrics-out
+// file that lebench/lesweep write when observability is enabled. Phase
+// timings are wall-clock, so the section is opt-in and never part of the
+// byte-deterministic baseline report.
 //
 // Output is byte-deterministic for the same inputs — the committed
 // testdata/REPORT_baseline.md is the golden render of
@@ -37,6 +43,7 @@ import (
 	"os"
 
 	"anonlead/internal/harness"
+	"anonlead/internal/obs"
 	"anonlead/internal/report"
 	"anonlead/internal/trajectory"
 )
@@ -56,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		relTol  = fs.Float64("rel-tol", 0, "series trend: minimum relative effect to call a change (0 = default 0.05)")
 		sigmas  = fs.Float64("sigmas", 0, "series trend: minimum effect in Welch standard errors (0 = default 3)")
 		failOn  = fs.String("fail-on", "none", "exit-1 condition: none, or regressing (any net metric trend regresses; needs a series)")
+		phases  = fs.String("phases", "", "append a phase-breakdown table from this obs metrics snapshot (the -metrics-out file of lebench/lesweep; md format only)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: lereport [flags] artifact.json [older.json ... newest.json]\n\n"+
@@ -112,6 +120,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		out = rep.Markdown()
+		if *phases != "" {
+			points, err := obs.ReadSnapshotFile(*phases)
+			if err != nil {
+				fmt.Fprintln(stderr, "lereport:", err)
+				return 2
+			}
+			stats := obs.PhaseStats(points)
+			if len(stats) == 0 {
+				fmt.Fprintf(stderr, "lereport: %s has no anonlead_phase_seconds series (run with -trace-out/-metrics-out enabled)\n", *phases)
+				return 2
+			}
+			out += report.PhaseMarkdown(stats)
+		}
 	}
 	if *outPath != "" {
 		if err := os.WriteFile(*outPath, []byte(out), 0o644); err != nil {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"anonlead/internal/obs"
 	"anonlead/internal/spectral"
 	"anonlead/internal/stats"
 )
@@ -13,14 +14,19 @@ import (
 // ArtifactSchema identifies the BENCH_harness.json format version. Bump it
 // when the cell layout changes so trajectory tooling can tell formats apart.
 //
-// v4 keeps every v3 field and adds the resolved profile regime to each
-// cell ("estimate" when the cell's tmix/Φ/diameter inputs came from the
-// streaming estimators; omitted for the legacy exact regime). The regime
-// is part of the cell's identity: trajectory alignment keys on it, so an
-// exact cell and an estimate cell of the same workload report as
-// added/removed rather than falsely regressed. Exact-regime cells
-// serialize byte-identically to v3 apart from the schema string.
-const ArtifactSchema = "anonlead/bench-harness/v4"
+// v5 keeps every v4 field and adds the optional per-cell round_profile
+// section: the deterministic round-resolved message/halt histograms the
+// telemetry subsystem (internal/obs) collects when a sweep opts in via
+// TrialOpts.RoundProfile. The section is omitted on unprofiled cells, so
+// a sweep run without round profiling serializes byte-identically to v4
+// apart from the schema string.
+const ArtifactSchema = "anonlead/bench-harness/v5"
+
+// ArtifactSchemaV4 is the previous format: v3 plus the resolved profile
+// regime in each cell's identity ("estimate" for the streaming
+// estimators; omitted for exact). Still readable; its cells simply carry
+// no round profiles.
+const ArtifactSchemaV4 = "anonlead/bench-harness/v4"
 
 // ArtifactSchemaV3 is the previous format: v2 plus adversary cell identity
 // (descriptor, dropped/crashed aggregates), without profile regimes. Still
@@ -120,6 +126,12 @@ type ArtifactCell struct {
 	RoundsDist   *ArtifactDist `json:"rounds_dist,omitempty"`
 	ChargedDist  *ArtifactDist `json:"charged_dist,omitempty"`
 
+	// RoundProfile is the cell's deterministic round-resolved histogram —
+	// the trials' per-round message/halt bucket counts summed in
+	// trial-index order (schema v5; present only when the sweep ran with
+	// round profiling enabled).
+	RoundProfile *obs.RoundProfile `json:"round_profile,omitempty"`
+
 	PredictedMsgs float64 `json:"predicted_msgs"`
 	PredictedTime float64 `json:"predicted_time"`
 }
@@ -202,6 +214,7 @@ func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Du
 			BitsDist:     newArtifactDist(c.BitsDist),
 			RoundsDist:   newArtifactDist(c.RoundsDist),
 			ChargedDist:  newArtifactDist(c.ChargedDist),
+			RoundProfile: c.RoundProf.Clone(),
 		}
 		ac.SuccessLo, ac.SuccessHi = stats.Wilson(c.Successes, c.Trials)
 		if prof != nil {
@@ -260,21 +273,22 @@ func (a Artifact) WriteFile(path string) error {
 	return nil
 }
 
-// ReadArtifact decodes a bench artifact, accepting the current v4 schema
-// plus the legacy v3 (no profile regimes), v2 (no adversary cell identity)
-// and v1 (means only). Unknown schemas are rejected so trajectory tooling
-// fails loudly on foreign files rather than comparing garbage.
+// ReadArtifact decodes a bench artifact, accepting the current v5 schema
+// plus the legacy v4 (no round profiles), v3 (no profile regimes), v2 (no
+// adversary cell identity) and v1 (means only). Unknown schemas are
+// rejected so trajectory tooling fails loudly on foreign files rather
+// than comparing garbage.
 func ReadArtifact(buf []byte) (Artifact, error) {
 	var a Artifact
 	if err := json.Unmarshal(buf, &a); err != nil {
 		return Artifact{}, fmt.Errorf("harness: decode artifact: %w", err)
 	}
 	switch a.Schema {
-	case ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
+	case ArtifactSchema, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
 		return a, nil
 	default:
-		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s, %s, %s, or %s)",
-			a.Schema, ArtifactSchema, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
+		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s, %s, %s, %s, or %s)",
+			a.Schema, ArtifactSchema, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
 	}
 }
 

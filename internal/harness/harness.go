@@ -19,6 +19,7 @@ import (
 	"anonlead/internal/baseline"
 	"anonlead/internal/core"
 	"anonlead/internal/graph"
+	"anonlead/internal/obs"
 	"anonlead/internal/rng"
 	"anonlead/internal/sim"
 	"anonlead/internal/spectral"
@@ -66,6 +67,9 @@ type Trial struct {
 	Rounds  int
 	Crashed int // nodes crash-stopped by the adversary
 	Metrics sim.Metrics
+	// RoundProf is the trial's deterministic round-resolved histogram,
+	// present only when TrialOpts.RoundProfile asked for one.
+	RoundProf *obs.RoundProfile
 }
 
 // SimOpts carries the execution knobs every trial runner threads into the
@@ -81,6 +85,9 @@ type SimOpts struct {
 	// seed derivation (adversary.DeriveRunSeed), so harness and public
 	// fault-injected runs are byte-identical.
 	Adversary *adversary.Spec
+	// Observer, when non-nil, streams per-round metrics out of the trial
+	// (the round-profile feed; any per-trial telemetry rides the same hook).
+	Observer func(anonlead.RoundInfo)
 }
 
 // faulted reports whether the options carry an active fault policy.
@@ -99,6 +106,9 @@ func (o SimOpts) options(seed uint64) []anonlead.Option {
 	}
 	if o.Adversary != nil {
 		opts = append(opts, anonlead.WithAdversary(publicAdversary(*o.Adversary)))
+	}
+	if o.Observer != nil {
+		opts = append(opts, anonlead.WithObserver(o.Observer))
 	}
 	return opts
 }
@@ -185,6 +195,12 @@ type TrialOpts struct {
 	// number into the revocable protocol (the Theorem 3 known-i(G)
 	// schedule) instead of the blind Corollary 1 schedule.
 	RevocableUseProfileIso bool
+	// RoundProfile, when true, attaches a deterministic per-round
+	// message/halt histogram to every trial (merged per cell and persisted
+	// in the schema-v5 artifact's round_profile section). Off by default:
+	// an unprofiled sweep serializes byte-identically to one that never
+	// heard of round profiles.
+	RoundProfile bool
 }
 
 // Cell is the aggregated result of a trial batch on one workload.
@@ -214,6 +230,9 @@ type Cell struct {
 	// adversary-dropped packets and mean crash-stopped nodes per trial.
 	Dropped      float64
 	CrashedNodes float64
+	// RoundProf is the elementwise sum of the trials' round histograms,
+	// merged in trial-index order (nil unless TrialOpts.RoundProfile).
+	RoundProf *obs.RoundProfile
 }
 
 // SuccessRate returns the fraction of trials electing exactly one leader.
@@ -249,15 +268,29 @@ func AdversarySeed(trialSeed uint64) uint64 {
 // structural validation, and one profile. The network's own lazy profile
 // is never touched: trials supply every profiled input explicitly.
 func prepareCell(w Workload, seed uint64, mode spectral.Mode) (*anonlead.Network, *spectral.Profile, error) {
+	label := cellLabel(w)
+	endPrep := obs.Span("prepare", label)
 	_, anw, err := cachedGraph(w, seed)
+	endPrep()
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: build %s/%d: %w", w.Family, w.N, err)
 	}
+	endProf := obs.Span("profile", label)
 	prof, err := cachedSpectralProfile(w, seed, mode)
+	endProf()
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: profile %s/%d: %w", w.Family, w.N, err)
 	}
 	return anw, prof, nil
+}
+
+// cellLabel is the span detail naming a workload cell. It formats nothing
+// while telemetry is disabled, keeping disabled call sites allocation-free.
+func cellLabel(w Workload) string {
+	if !obs.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%s/%d", w.Family, w.N)
 }
 
 // reduceCell aggregates a batch of trials, always in slice (= trial index)
@@ -282,6 +315,12 @@ func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) 
 		}
 		cell.Dropped += float64(trial.Metrics.Dropped)
 		cell.CrashedNodes += float64(trial.Crashed)
+		if trial.RoundProf != nil {
+			if cell.RoundProf == nil {
+				cell.RoundProf = &obs.RoundProfile{}
+			}
+			cell.RoundProf.Merge(trial.RoundProf)
+		}
 		msgs = append(msgs, float64(trial.Metrics.Messages))
 		bits = append(bits, float64(trial.Metrics.Bits))
 		rounds = append(rounds, float64(trial.Rounds))
@@ -312,13 +351,18 @@ func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
 		return Cell{}, err
 	}
 	trials := make([]Trial, cellTrials(opts))
+	endTrials := obs.Span("trials", cellLabel(w))
 	for t := range trials {
 		trial, err := runOne(p, anw, prof, opts, TrialSeed(opts.Seed, w, t))
 		if err != nil {
+			endTrials()
 			return Cell{Protocol: p, Workload: w, Profile: prof}, err
 		}
 		trials[t] = trial
 	}
+	endTrials()
+	endReduce := obs.Span("reduce", cellLabel(w))
+	defer endReduce()
 	return reduceCell(p, w, prof, trials), nil
 }
 
@@ -342,6 +386,11 @@ func runOne(p Protocol, anw *anonlead.Network, prof *spectral.Profile, opts Tria
 		presumedN = opts.PresumedN
 	}
 	simo := SimOpts{Parallel: opts.Parallel, Scheduler: opts.Scheduler, Adversary: opts.Adversary}
+	var rp *obs.RoundProfile
+	if opts.RoundProfile {
+		rp = &obs.RoundProfile{}
+		simo.Observer = roundProfileObserver(rp)
+	}
 	var pc core.ProtoConfig
 	switch p {
 	case ProtoIRE, ProtoExplicit:
@@ -367,7 +416,20 @@ func runOne(p Protocol, anw *anonlead.Network, prof *spectral.Profile, opts Tria
 	default:
 		return Trial{}, fmt.Errorf("harness: unknown protocol %q", p)
 	}
-	return runTrial(anw, string(p), pc, seed, simo)
+	trial, err := runTrial(anw, string(p), pc, seed, simo)
+	if err == nil {
+		// Both real completions and measured fault non-convergence carry
+		// the profile: every executed round was observed either way.
+		trial.RoundProf = rp
+	}
+	return trial, err
+}
+
+// roundProfileObserver adapts the public per-round observer feed — which
+// is cumulative — into per-round deltas on a round profile.
+func roundProfileObserver(rp *obs.RoundProfile) func(anonlead.RoundInfo) {
+	o := rp.RoundObserver()
+	return func(ri anonlead.RoundInfo) { o(ri.Metrics.Messages, int64(ri.Halted)) }
 }
 
 // ireProto maps an IRE config onto the shared protocol config.

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"anonlead/internal/obs"
 )
 
 // MergeArtifacts reassembles the partial artifacts of a distributed sweep
@@ -28,6 +30,7 @@ import (
 // shard counts are taken from the partials when they all agree (the
 // same-machine case CI's byte-identity gate runs) and zeroed otherwise.
 func MergeArtifacts(parts []Artifact) (Artifact, error) {
+	defer obs.Span("merge")()
 	if len(parts) == 0 {
 		return Artifact{}, fmt.Errorf("harness: merge: no partial artifacts")
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"anonlead"
+	"anonlead/internal/obs"
 	"anonlead/internal/spectral"
 )
 
@@ -68,6 +69,9 @@ func (o Orchestrator) Effective() (workers, shards int) {
 // failed task.
 func (o Orchestrator) RunSweep(specs []CellSpec) ([]Cell, error) {
 	workers, shards := o.Effective()
+	if obs.Enabled() {
+		obs.Default().Counter("anonlead_cells_total").Add(int64(len(specs)))
+	}
 
 	// Phase 1: build and profile every distinct workload graph in
 	// parallel. Specs sharing (workload, seed) — different protocols on
@@ -132,18 +136,26 @@ func (o Orchestrator) RunSweep(specs []CellSpec) ([]Cell, error) {
 		sh := work[s]
 		spec := specs[sh.cell]
 		run := &runs[sh.cell]
+		endTrials := obs.Span("trials", cellLabel(spec.Workload))
 		for t := sh.lo; t < sh.hi; t++ {
 			trial, err := runOne(spec.Protocol, run.anw, run.prof, spec.Opts,
 				TrialSeed(spec.Opts.Seed, spec.Workload, t))
 			if err != nil {
+				endTrials()
 				return fmt.Errorf("spec %d (%s on %s/%d) trial %d: %w",
 					sh.cell, spec.Protocol, spec.Workload.Family, spec.Workload.N, t, err)
 			}
 			run.trials[t] = trial
 		}
+		endTrials()
 		if run.remaining.Add(-1) == 0 {
+			endReduce := obs.Span("reduce", cellLabel(spec.Workload))
 			cell := reduceCell(spec.Protocol, spec.Workload, run.prof, run.trials)
+			endReduce()
 			cells[sh.cell] = cell
+			if obs.Enabled() {
+				obs.Default().Counter("anonlead_cells_done").Inc()
+			}
 			if o.OnCell != nil {
 				cbMu.Lock()
 				o.OnCell(sh.cell, cell)

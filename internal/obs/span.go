@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PhaseSecondsBounds are the bucket upper bounds (seconds) for the
+// anonlead_phase_seconds histogram: log-spaced from 1ms to ~100s, sized
+// for everything from a cached prepareCell hit to a full-matrix sweep.
+var PhaseSecondsBounds = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120,
+}
+
+// SpanEvent is one completed phase span, ready for Chrome trace export.
+type SpanEvent struct {
+	Phase  string
+	Detail string
+	Start  time.Time
+	Dur    time.Duration
+}
+
+var spanLog struct {
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+// noopEnd is the shared closure Span returns while telemetry is disabled,
+// keeping the disabled path allocation-free.
+var noopEnd = func() {}
+
+// Span starts a phase span and returns the closure that ends it:
+//
+//	done := obs.Span("prepare", cellLabel)
+//	defer done()
+//
+// While telemetry is disabled this is one atomic load and a shared no-op
+// closure — zero allocations. When enabled, ending the span feeds the
+// anonlead_phase_seconds{phase=...} histogram in the default registry and
+// appends a trace event for WriteChromeTrace.
+func Span(phase string, detail ...string) func() {
+	if !enabled.Load() {
+		return noopEnd
+	}
+	d := ""
+	if len(detail) > 0 {
+		d = detail[0]
+	}
+	start := time.Now()
+	return func() {
+		dur := time.Since(start)
+		defaultRegistry.
+			Histogram("anonlead_phase_seconds", PhaseSecondsBounds, "phase", phase).
+			Observe(dur.Seconds())
+		spanLog.mu.Lock()
+		spanLog.events = append(spanLog.events, SpanEvent{Phase: phase, Detail: d, Start: start, Dur: dur})
+		spanLog.mu.Unlock()
+	}
+}
+
+// SpanEvents returns a copy of all completed spans, in completion order.
+func SpanEvents() []SpanEvent {
+	spanLog.mu.Lock()
+	defer spanLog.mu.Unlock()
+	return append([]SpanEvent(nil), spanLog.events...)
+}
+
+// ResetSpans clears the span log (tests; long-lived servers between runs).
+func ResetSpans() {
+	spanLog.mu.Lock()
+	spanLog.events = nil
+	spanLog.mu.Unlock()
+}
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome trace-event
+// JSON format understood by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`  // microseconds since trace origin
+	Dur  int64             `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes every completed span as a Chrome trace-event
+// JSON document. Spans are packed onto tracks greedily (each span takes
+// the lowest-numbered track that is free at its start time) so concurrent
+// phases render side by side instead of overlapping.
+func WriteChromeTrace(w io.Writer) error {
+	events := SpanEvents()
+	sort.SliceStable(events, func(a, b int) bool { return events[a].Start.Before(events[b].Start) })
+	var origin time.Time
+	if len(events) > 0 {
+		origin = events[0].Start
+	}
+	var trackEnd []time.Time // per-track last occupied instant
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, ev := range events {
+		tid := -1
+		for i, end := range trackEnd {
+			if !ev.Start.Before(end) {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(trackEnd)
+			trackEnd = append(trackEnd, time.Time{})
+		}
+		trackEnd[tid] = ev.Start.Add(ev.Dur)
+		ce := chromeEvent{
+			Name: ev.Phase,
+			Ph:   "X",
+			Ts:   ev.Start.Sub(origin).Microseconds(),
+			Dur:  ev.Dur.Microseconds(),
+			Pid:  1,
+			Tid:  tid + 1,
+		}
+		if ev.Detail != "" {
+			ce.Args = map[string]string{"detail": ev.Detail}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// PhaseStat is the aggregate view of one phase, as rendered by the
+// lereport phase-breakdown table.
+type PhaseStat struct {
+	Phase string
+	Spans int64
+	Total float64 // seconds
+}
+
+// PhaseStats summarizes a metrics snapshot's anonlead_phase_seconds
+// series into per-phase totals, sorted by descending total time. It
+// accepts a snapshot (rather than reading the live registry) so lereport
+// can consume a -metrics-out file from another process.
+func PhaseStats(points []MetricPoint) []PhaseStat {
+	var out []PhaseStat
+	for _, p := range points {
+		if p.Name != "anonlead_phase_seconds" || p.Kind != "histogram" {
+			continue
+		}
+		out = append(out, PhaseStat{Phase: p.Labels["phase"], Spans: p.Count, Total: p.Sum})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Total != out[b].Total {
+			return out[a].Total > out[b].Total
+		}
+		return out[a].Phase < out[b].Phase
+	})
+	return out
+}
+
+// WriteSnapshotJSON writes the default registry's snapshot as indented
+// JSON — the -metrics-out file format that lereport -phases reads.
+func WriteSnapshotJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(defaultRegistry.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal snapshot: %w", err)
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteChromeTraceFile writes the span log as Chrome trace-event JSON to
+// path (the CLIs' -trace-out).
+func WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSnapshotFile writes the registry snapshot JSON to path (the CLIs'
+// -metrics-out).
+func WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshotJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshotFile reads a -metrics-out snapshot back (lereport -phases).
+func ReadSnapshotFile(path string) ([]MetricPoint, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var points []MetricPoint
+	if err := json.Unmarshal(buf, &points); err != nil {
+		return nil, fmt.Errorf("obs: %s is not a metrics snapshot: %w", path, err)
+	}
+	return points, nil
+}

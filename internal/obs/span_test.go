@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanDisabledIsAllocationFree(t *testing.T) {
+	Disable()
+	avg := testing.AllocsPerRun(100, func() {
+		done := Span("prepare", "detail-that-would-allocate")
+		done()
+	})
+	if avg != 0 {
+		t.Fatalf("disabled Span allocates %.1f/op, want 0", avg)
+	}
+	if len(SpanEvents()) != 0 {
+		t.Fatal("disabled Span recorded events")
+	}
+}
+
+func TestSpanFeedsHistogramAndLog(t *testing.T) {
+	withEnabled(t)
+	done := Span("trials", "cell-3")
+	time.Sleep(time.Millisecond)
+	done()
+	Span("reduce")()
+
+	events := SpanEvents()
+	if len(events) != 2 {
+		t.Fatalf("got %d span events, want 2", len(events))
+	}
+	if events[0].Phase != "trials" || events[0].Detail != "cell-3" {
+		t.Fatalf("unexpected first event: %+v", events[0])
+	}
+	if events[0].Dur < time.Millisecond {
+		t.Fatalf("span duration %v, want >= 1ms", events[0].Dur)
+	}
+	stats := PhaseStats(defaultRegistry.Snapshot())
+	if len(stats) != 2 {
+		t.Fatalf("got %d phase stats, want 2: %+v", len(stats), stats)
+	}
+	// "trials" slept a millisecond, "reduce" did not: total-desc order.
+	if stats[0].Phase != "trials" || stats[0].Spans != 1 {
+		t.Fatalf("unexpected leading phase stat: %+v", stats[0])
+	}
+}
+
+func TestWriteChromeTracePacksTracks(t *testing.T) {
+	withEnabled(t)
+	base := time.Now()
+	spanLog.mu.Lock()
+	spanLog.events = []SpanEvent{
+		// Two overlapping spans, then one that starts after both end.
+		{Phase: "prepare", Start: base, Dur: 10 * time.Millisecond},
+		{Phase: "profile", Start: base.Add(5 * time.Millisecond), Dur: 10 * time.Millisecond, Detail: "x"},
+		{Phase: "trials", Start: base.Add(20 * time.Millisecond), Dur: time.Millisecond},
+	}
+	spanLog.mu.Unlock()
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 1 || ev.Tid < 1 {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+	}
+	if doc.TraceEvents[0].Tid == doc.TraceEvents[1].Tid {
+		t.Fatal("overlapping spans packed onto the same track")
+	}
+	if doc.TraceEvents[2].Tid != 1 {
+		t.Fatalf("non-overlapping span should reuse track 1, got %d", doc.TraceEvents[2].Tid)
+	}
+	if doc.TraceEvents[1].Args["detail"] != "x" {
+		t.Fatalf("detail arg lost: %+v", doc.TraceEvents[1])
+	}
+	if doc.TraceEvents[0].Ts != 0 || doc.TraceEvents[1].Ts != 5000 {
+		t.Fatalf("timestamps not relative to origin: %+v", doc.TraceEvents[:2])
+	}
+}
+
+func TestWriteSnapshotJSONRoundTrips(t *testing.T) {
+	withEnabled(t)
+	Span("merge")()
+	var sb strings.Builder
+	if err := WriteSnapshotJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var points []MetricPoint
+	if err := json.Unmarshal([]byte(sb.String()), &points); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	stats := PhaseStats(points)
+	if len(stats) != 1 || stats[0].Phase != "merge" || stats[0].Spans != 1 {
+		t.Fatalf("snapshot did not round-trip phase stats: %+v", stats)
+	}
+}

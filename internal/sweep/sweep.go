@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"anonlead/internal/harness"
+	"anonlead/internal/obs"
 	"anonlead/internal/spectral"
 )
 
@@ -105,6 +106,11 @@ type Coordinator struct {
 	// inject crashes); it defaults to in-process or subprocess execution
 	// depending on cfg.Exec.
 	runWorker func(ctx context.Context, w workerTask) (harness.Artifact, error)
+
+	// prog is the live progress tracker of the current Run (nil before
+	// the first Run); the -debug-addr endpoint polls it via Progress.
+	progMu sync.Mutex
+	prog   *progressState
 }
 
 // workerTask is one worker's share of the plan.
@@ -179,6 +185,10 @@ func (c *Coordinator) Run(ctx context.Context) (harness.Artifact, error) {
 		}
 	}
 
+	c.progMu.Lock()
+	c.prog = newProgressState(total, tasks)
+	c.progMu.Unlock()
+
 	parts := make([]harness.Artifact, len(tasks))
 	err := forEach(c.cfg.parallel(len(tasks)), len(tasks), func(i int) error {
 		return c.runWithRetry(ctx, tasks[i], &parts[i])
@@ -195,11 +205,14 @@ func (c *Coordinator) Run(ctx context.Context) (harness.Artifact, error) {
 	return merged, nil
 }
 
-// runWithRetry drives one worker through its retry budget.
+// runWithRetry drives one worker through its retry budget, keeping the
+// progress tracker (and through it the registry gauges and the -debug-addr
+// progress view) current.
 func (c *Coordinator) runWithRetry(ctx context.Context, w workerTask, out *harness.Artifact) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
+			c.prog.finish(w.id, 0, true)
 			return fmt.Errorf("sweep: worker %d: %w", w.id, err)
 		}
 		if attempt == 0 {
@@ -208,18 +221,34 @@ func (c *Coordinator) runWithRetry(ctx context.Context, w workerTask, out *harne
 			c.logf("worker %d/%d (cells %s): retry %d/%d after: %v",
 				w.id+1, c.cfg.workers(), w.sel, attempt, c.cfg.Retries, lastErr)
 		}
+		c.prog.startAttempt(w.id, attempt)
 		start := time.Now()
+		endSpan := obs.Span("worker", workerLabel(w))
 		art, err := c.runWorker(ctx, w)
+		endSpan()
 		if err == nil {
-			c.logf("worker %d/%d: done in %.1fs (%d cells)",
-				w.id+1, c.cfg.workers(), time.Since(start).Seconds(), len(art.Cells))
+			c.prog.finish(w.id, len(art.Cells), false)
+			p := c.Progress()
+			c.logf("worker %d/%d: done in %.1fs (%d cells; sweep %d/%d cells, %s)",
+				w.id+1, c.cfg.workers(), time.Since(start).Seconds(), len(art.Cells),
+				p.CellsDone, p.PlanCells, etaString(p.ETASeconds, p.CellsDone))
 			*out = art
 			return nil
 		}
 		lastErr = err
 	}
+	c.prog.finish(w.id, 0, true)
 	return fmt.Errorf("sweep: worker %d (cells %s) failed after %d attempt(s): %w",
 		w.id, w.sel, c.cfg.Retries+1, lastErr)
+}
+
+// workerLabel is the span detail naming a worker's cell range; it formats
+// nothing while telemetry is disabled.
+func workerLabel(w workerTask) string {
+	if !obs.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("worker %d cells %s", w.id, w.sel)
 }
 
 // runLocalWorker executes one worker's cells in-process on the configured

@@ -4,7 +4,9 @@
 // without widening protocol APIs.
 //
 // Recording is opt-in per network (sim.Config.Trace); when disabled, the
-// protocol-side logging calls are no-ops with negligible cost.
+// protocol-side logging calls are no-ops with negligible cost. Module
+// users reach the same hook through the public anonlead.WithTrace option,
+// which adapts a public TraceRecorder onto this package's Recorder.
 //
 // See docs/ARCHITECTURE.md for where this sits in the paper-to-code map.
 package trace

@@ -88,6 +88,82 @@ func TestRingConcurrentRecord(t *testing.T) {
 	}
 }
 
+// TestRingConcurrentWraparoundCounts hammers a small ring from many
+// goroutines with distinct kinds while readers run concurrently, so -race
+// exercises every lock path: wraparound must keep retention exact and the
+// per-kind counters must stay cumulative (counting all events ever, not
+// just the retained window).
+func TestRingConcurrentWraparoundCounts(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 200
+		capacity  = 16
+	)
+	r := NewRing(capacity)
+	kinds := []string{"invite", "stop", "leader", "candidate"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ { // concurrent readers during the writes
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n := r.Len(); n > capacity {
+					t.Errorf("Len %d exceeds capacity %d", n, capacity)
+					return
+				}
+				r.Events()
+				r.Count("leader")
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(Event{Round: i, Node: g, Kind: kinds[g%len(kinds)]})
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if r.Total() != writers*perWriter {
+		t.Fatalf("total %d want %d", r.Total(), writers*perWriter)
+	}
+	var counted int64
+	for _, k := range kinds {
+		if c := r.Count(k); c != 2*perWriter { // 8 writers over 4 kinds
+			t.Errorf("count[%s] = %d want %d", k, c, 2*perWriter)
+		} else {
+			counted += c
+		}
+	}
+	if counted != writers*perWriter {
+		t.Fatalf("per-kind counts sum to %d, total is %d", counted, writers*perWriter)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("wrapped ring retains %d events, want %d", r.Len(), capacity)
+	}
+	valid := make(map[string]bool)
+	for _, k := range kinds {
+		valid[k] = true
+	}
+	for i, e := range r.Events() {
+		if !valid[e.Kind] {
+			t.Fatalf("retained event %d has torn kind %q", i, e.Kind)
+		}
+	}
+}
+
 func TestCountingRecorder(t *testing.T) {
 	c := NewCounting()
 	c.Record(Event{Kind: "a"})

@@ -211,6 +211,9 @@ func (nw *Network) Run(ctx context.Context, protocol string, opts ...Option) (Ou
 			obs(RoundInfo{Round: ri.Round, Halted: ri.Halted, Metrics: metricsFromSim(ri.Metrics)})
 		}
 	}
+	if o.tracer != nil {
+		cfg.Trace = traceAdapter{o.tracer}
+	}
 	net := sim.New(cfg, runner.Factory)
 	defer net.Close()
 
