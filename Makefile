@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench faults-smoke scaling-smoke obs-smoke bench-artifact benchdiff report baseline sweep-dist series-report lint fmt ci clean
+.PHONY: all build test race bench faults-smoke scaling-smoke obs-smoke dist-demo bench-artifact benchdiff report baseline sweep-dist series-report lint fmt ci clean
 
 all: build
 
@@ -18,10 +18,12 @@ test:
 # Race-detector pass over the concurrent subsystems (simulator schedulers
 # — actors lifecycle and tracing included — the experiment orchestrator,
 # the adversary layer they both drive, the trace recorders, the telemetry
-# registry, and the sweep coordinator).
+# registry, the sweep coordinator, and the real-transport backend with its
+# per-node driver goroutines).
 race:
 	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/adversary/... \
-		./internal/trace/... ./internal/obs/... ./internal/sweep/...
+		./internal/trace/... ./internal/obs/... ./internal/sweep/... \
+		./internal/transport/...
 
 # Bench smoke: every benchmark once. BenchmarkHarnessSweep writes
 # BENCH_harness.json, which CI uploads for cross-PR perf tracking.
@@ -54,6 +56,15 @@ obs-smoke:
 		-trace-out TRACE_lebench.json -metrics-out OBS_metrics.json \
 		-cpuprofile CPU_lebench.pprof -json BENCH_obs.json
 	$(GO) run ./cmd/lereport -phases OBS_metrics.json -out REPORT_obs.md BENCH_obs.json
+
+# Distributed-transport smoke: a 16-node election where every node is its
+# own OS process over localhost TCP, plus the in-memory replay of the same
+# seed. The run fails unless both elect the same leader in the same rounds
+# with the same CONGEST charge; DIST_demo.json correlates wall-clock per
+# distributed round with the simulated round count. CI's bench-smoke job
+# runs this and archives the artifact.
+dist-demo:
+	$(GO) run ./cmd/ledist -proto floodmax -graph cycle -n 16 -seed 1 -out DIST_demo.json
 
 # The regression-gate sweep: every artifact cell (Table 1 + the X4
 # knowledge ablation + the fault-injection resilience curves) at the
@@ -121,4 +132,5 @@ ci: build lint test race bench
 clean:
 	rm -f BENCH_harness.json BENCH_scaling.json BENCH_dist.json BENCH_local.json REPORT.md
 	rm -f BENCH_obs.json TRACE_lebench.json OBS_metrics.json CPU_lebench.pprof REPORT_obs.md
+	rm -f DIST_demo.json
 	$(GO) clean -testcache

@@ -1,0 +1,613 @@
+// Command ledist runs one leader election as actual distributed nodes:
+// every node of the topology is its own OS process, exchanging framed
+// protocol messages over localhost TCP sockets, with the coordinator
+// process enforcing CONGEST synchrony through a round barrier. The
+// coordinator also replays the identical election on the in-memory
+// simulator and writes a JSON artifact correlating wall-clock time per
+// distributed round with the simulated round count — the evidence that
+// the paper's round/bit accounting survives contact with real transport.
+//
+// Usage:
+//
+//	ledist -proto floodmax -graph cycle -n 16 -seed 1 -out dist_demo.json
+//	ledist -proto ire -graph expander -n 16
+//
+// The same binary re-executes itself in node mode (-node) for the worker
+// processes; that mode is internal plumbing, not a user entry point.
+//
+// ^C interrupts the election between rounds: the coordinator stops
+// releasing rounds, tells every node to drain and close, still writes the
+// artifact (marked interrupted), and exits nonzero for the partial
+// election — mirroring cmd/leaderelect.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"anonlead"
+	"anonlead/internal/core"
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+	"anonlead/internal/sim"
+	"anonlead/internal/transport"
+)
+
+func main() {
+	var (
+		proto   = flag.String("proto", "floodmax", "protocol: "+strings.Join(core.Names(), ", "))
+		family  = flag.String("graph", "cycle", "topology family (see anonlead.Families)")
+		n       = flag.Int("n", 16, "number of nodes = number of node processes")
+		seed    = flag.Uint64("seed", 1, "root random seed (also derives the topology)")
+		out     = flag.String("out", "", "write the wall-clock vs simulated-rounds artifact to this JSON file")
+		timeout = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+		withSim = flag.Bool("sim", true, "replay the election on the in-memory simulator for correlation")
+		nodeIdx = flag.Int("node", -1, "internal: run as node process with this index")
+		coordTo = flag.String("coord", "", "internal: coordinator control address (node mode)")
+	)
+	flag.Parse()
+
+	var err error
+	if *nodeIdx >= 0 {
+		err = nodeMain(*nodeIdx, *coordTo)
+	} else {
+		err = coordMain(*proto, *family, *n, *seed, *out, *timeout, *withSim)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ledist:", err)
+		os.Exit(1)
+	}
+}
+
+// Control-plane message bodies. Reports ride the compact binary codec the
+// barrier already defines; everything else is low-rate and goes as JSON.
+
+type joinMsg struct {
+	Node int    `json:"node"`
+	Addr string `json:"addr"` // the node's data-plane listen address
+}
+
+type planMsg struct {
+	Family      string           `json:"family"`
+	N           int              `json:"n"`
+	Seed        uint64           `json:"seed"`
+	Proto       string           `json:"proto"`
+	PC          core.ProtoConfig `json:"pc"`
+	CongestBits int              `json:"congest_bits"`
+	Peers       []string         `json:"peers"` // data addresses by node index
+}
+
+type outcomeMsg struct {
+	Node   int    `json:"node"`
+	Leader bool   `json:"leader"`
+	ID     uint64 `json:"id"`
+	Halted bool   `json:"halted"`
+}
+
+// buildGraph is the shared deterministic topology derivation: coordinator
+// and every node process rebuild the same graph from (family, n, seed),
+// exactly as anonlead.NewNetwork does.
+func buildGraph(family string, n int, seed uint64) (*graph.Graph, error) {
+	return graph.ByName(family, n, rng.New(seed).SplitString("graph:"+family))
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+
+type artifact struct {
+	Proto       string  `json:"proto"`
+	Family      string  `json:"family"`
+	N           int     `json:"n"`
+	Seed        uint64  `json:"seed"`
+	CongestBits int     `json:"congest_bits"`
+	Interrupted bool    `json:"interrupted,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Sim         *runRes `json:"sim,omitempty"`
+	Dist        *runRes `json:"dist,omitempty"`
+	// Match: the distributed run elected the same leader in the same
+	// number of rounds with the same CONGEST charge as the simulator.
+	Match *bool `json:"match,omitempty"`
+}
+
+type runRes struct {
+	Rounds          int       `json:"rounds"`
+	ChargedRounds   int64     `json:"charged_rounds"`
+	Messages        int64     `json:"messages"`
+	Bits            int64     `json:"bits"`
+	Leaders         int       `json:"leaders"`
+	LeaderID        uint64    `json:"leader_id"`
+	ElapsedSeconds  float64   `json:"elapsed_seconds"`
+	ConnectSeconds  float64   `json:"connect_seconds,omitempty"`
+	SecondsPerRound float64   `json:"seconds_per_round,omitempty"`
+	RoundSeconds    []float64 `json:"round_seconds,omitempty"`
+}
+
+// ctlMsg is one frame read off a node's control connection.
+type ctlMsg struct {
+	node int
+	f    transport.Frame
+	err  error
+}
+
+// nodeConn is the coordinator's handle on one node process.
+type nodeConn struct {
+	link transport.Link
+	cmd  *exec.Cmd
+}
+
+func coordMain(proto, family string, n int, seed uint64, out string, timeout time.Duration, withSim bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	g, err := buildGraph(family, n, seed)
+	if err != nil {
+		return err
+	}
+	nw, err := anonlead.NewNetworkFromGraph(g)
+	if err != nil {
+		return err
+	}
+	entry, ok := core.Lookup(proto)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (registered: %s)", proto, strings.Join(core.Names(), ", "))
+	}
+	if entry.Wire == nil {
+		return fmt.Errorf("protocol %s has no wire codec; it cannot run distributed", entry.Name)
+	}
+
+	// Resolve the protocol config once, coordinator-side, and ship it to
+	// every node: the processes must not profile independently.
+	pc := core.ProtoConfig{TrueN: n, N: n}
+	if entry.Needs != 0 {
+		prof, err := nw.Profile(anonlead.ProfileAuto)
+		if err != nil {
+			return err
+		}
+		if entry.Needs&core.NeedTMix != 0 {
+			pc.TMix = prof.MixingTime
+		}
+		if entry.Needs&core.NeedPhi != 0 {
+			pc.Phi = prof.Conductance
+		}
+		if entry.Needs&core.NeedDiam != 0 {
+			pc.Diam = prof.Diameter
+		}
+	}
+	runner, err := entry.Build(pc)
+	if err != nil {
+		return err
+	}
+	if runner.Budget <= 0 {
+		return fmt.Errorf("protocol %s is open-ended (convergence-checked); ledist runs halting protocols", entry.Name)
+	}
+	budget := sim.DefaultCongestBits(n)
+
+	art := &artifact{Proto: entry.Name, Family: family, N: n, Seed: seed, CongestBits: budget}
+	distErr := runDistributed(ctx, g, entry, pc, seed, budget, runner.Budget, art)
+	if distErr != nil {
+		art.Error = distErr.Error()
+	}
+	if errors.Is(ctx.Err(), context.Canceled) || errors.Is(distErr, context.Canceled) {
+		art.Interrupted = true
+	}
+
+	if withSim && art.Dist != nil {
+		began := time.Now()
+		outSim, err := nw.Run(context.Background(), proto,
+			anonlead.WithSeed(seed), anonlead.WithProtoConfig(pc))
+		if err != nil {
+			return fmt.Errorf("simulator replay: %w", err)
+		}
+		art.Sim = &runRes{
+			Rounds:         outSim.Rounds,
+			ChargedRounds:  outSim.Metrics.ChargedRounds,
+			Messages:       outSim.Metrics.Messages,
+			Bits:           outSim.Metrics.Bits,
+			Leaders:        len(outSim.Leaders),
+			LeaderID:       outSim.LeaderID,
+			ElapsedSeconds: time.Since(began).Seconds(),
+		}
+		if distErr == nil {
+			m := art.Dist.Rounds == art.Sim.Rounds &&
+				art.Dist.LeaderID == art.Sim.LeaderID &&
+				art.Dist.ChargedRounds == art.Sim.ChargedRounds
+			art.Match = &m
+		}
+	}
+
+	if out != "" {
+		buf, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("artifact: %s\n", out)
+	}
+	printSummary(art)
+	if distErr != nil {
+		return distErr
+	}
+	if art.Match != nil && !*art.Match {
+		return errors.New("distributed run diverged from the simulator")
+	}
+	if art.Dist != nil && art.Dist.Leaders != 1 {
+		return fmt.Errorf("election not unique: %d leaders", art.Dist.Leaders)
+	}
+	return nil
+}
+
+// runDistributed spawns the node processes, drives the barrier, and fills
+// art.Dist with whatever completed (even on interrupt or node failure).
+func runDistributed(ctx context.Context, g *graph.Graph, entry core.Entry, pc core.ProtoConfig, seed uint64, congestBits, roundBudget int, art *artifact) error {
+	n := g.N()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	nodes := make([]nodeConn, n)
+	defer func() {
+		for _, nc := range nodes {
+			if nc.link != nil {
+				nc.link.Close()
+			}
+		}
+		for _, nc := range nodes {
+			if nc.cmd != nil {
+				nc.cmd.Wait()
+			}
+		}
+	}()
+	for v := 0; v < n; v++ {
+		cmd := exec.CommandContext(ctx, exe, "-node", strconv.Itoa(v), "-coord", ln.Addr().String())
+		cmd.Stderr = os.Stderr
+		cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
+		cmd.WaitDelay = 10 * time.Second
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn node %d: %w", v, err)
+		}
+		nodes[v].cmd = cmd
+	}
+
+	// Join phase: every node checks in with its data address.
+	peers := make([]string, n)
+	if dl, ok := ctx.Deadline(); ok {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(dl)
+		}
+	}
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("waiting for node joins (%d/%d): %w", i, n, err)
+		}
+		l := transport.NewStreamLink(conn, nil)
+		f, err := l.ReadFrame()
+		if err != nil || f.Type != transport.FrameJoin {
+			conn.Close()
+			return fmt.Errorf("bad join handshake: %v", err)
+		}
+		var j joinMsg
+		if err := json.Unmarshal(f.Body, &j); err != nil || j.Node < 0 || j.Node >= n || nodes[j.Node].link != nil {
+			conn.Close()
+			return fmt.Errorf("invalid join %q", f.Body)
+		}
+		nodes[j.Node].link = l
+		peers[j.Node] = j.Addr
+	}
+
+	// Plan phase: ship the resolved run description; the nodes wire their
+	// data fabric among themselves and run the Init pseudo-round.
+	plan := planMsg{Family: art.Family, N: n, Seed: seed, Proto: entry.Name, PC: pc, CongestBits: congestBits, Peers: peers}
+	planBody, err := json.Marshal(plan)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if err := writeFrame(nodes[v].link, transport.Frame{Type: transport.FramePlan, Body: planBody}); err != nil {
+			return fmt.Errorf("plan to node %d: %w", v, err)
+		}
+	}
+
+	msgs := make(chan ctlMsg, n)
+	for v := 0; v < n; v++ {
+		go func(v int, l transport.Link) {
+			for {
+				f, err := l.ReadFrame()
+				msgs <- ctlMsg{node: v, f: f, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}(v, nodes[v].link)
+	}
+
+	barrier := transport.NewBarrier(g, congestBits)
+	reps := make([]transport.Report, n)
+	gather := func() error {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			m := <-msgs
+			if m.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("node %d control: %w", m.node, m.err)
+				}
+				continue
+			}
+			if m.f.Type != transport.FrameReport {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("node %d: unexpected %v frame", m.node, m.f.Type)
+				}
+				continue
+			}
+			r, err := transport.DecodeReport(m.f.Body)
+			if err == nil && r.Fail != "" {
+				err = fmt.Errorf("node %d failed: %s", r.Node, r.Fail)
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			reps[r.Node] = r
+		}
+		return firstErr
+	}
+
+	began := time.Now()
+	if err := gather(); err != nil { // Init pseudo-round
+		return err
+	}
+	barrier.FinishRound(false, reps)
+	connectSecs := time.Since(began).Seconds()
+
+	res := &runRes{ConnectSeconds: connectSecs}
+	art.Dist = res
+	runStart := time.Now()
+	var runErr error
+	for !barrier.ShouldStop() && barrier.Round() < roundBudget {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		round := barrier.Round()
+		t0 := time.Now()
+		for v := 0; v < n; v++ {
+			if err := writeFrame(nodes[v].link, transport.Frame{Type: transport.FrameStart, Round: round}); err != nil {
+				return fmt.Errorf("start to node %d: %w", v, err)
+			}
+		}
+		if err := gather(); err != nil {
+			return err
+		}
+		barrier.FinishRound(true, reps)
+		res.RoundSeconds = append(res.RoundSeconds, time.Since(t0).Seconds())
+	}
+	res.ElapsedSeconds = time.Since(runStart).Seconds()
+
+	// Stop phase: drain every node and collect its leadership claim.
+	for v := 0; v < n; v++ {
+		writeFrame(nodes[v].link, transport.Frame{Type: transport.FrameStop})
+	}
+	leaders := 0
+	var leaderID uint64
+	done := make([]bool, n)
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < n {
+		select {
+		case m := <-msgs:
+			if done[m.node] {
+				continue // EOF after the node's outcome already landed
+			}
+			if m.err != nil {
+				// The node died without an outcome; that is its final word.
+				done[m.node] = true
+				got++
+				continue
+			}
+			if m.f.Type != transport.FrameOutcome {
+				continue
+			}
+			var o outcomeMsg
+			if err := json.Unmarshal(m.f.Body, &o); err == nil {
+				if o.Leader {
+					leaders++
+					leaderID = o.ID
+				}
+			}
+			done[m.node] = true
+			got++
+		case <-deadline:
+			if runErr == nil {
+				runErr = fmt.Errorf("timed out draining node outcomes (%d/%d)", got, n)
+			}
+			got = n
+		}
+	}
+
+	m := barrier.Metrics()
+	res.Rounds = m.Rounds
+	res.ChargedRounds = m.ChargedRounds
+	res.Messages = m.Messages
+	res.Bits = m.Bits
+	res.Leaders = leaders
+	res.LeaderID = leaderID
+	if m.Rounds > 0 {
+		res.SecondsPerRound = res.ElapsedSeconds / float64(m.Rounds)
+	}
+	if runErr == nil && !barrier.AllHalted() {
+		runErr = fmt.Errorf("election incomplete after %d rounds", m.Rounds)
+	}
+	return runErr
+}
+
+func writeFrame(l transport.Link, f transport.Frame) error {
+	if err := l.WriteFrame(f); err != nil {
+		return err
+	}
+	return l.Flush()
+}
+
+func printSummary(art *artifact) {
+	if art.Dist == nil {
+		return
+	}
+	d := art.Dist
+	fmt.Printf("dist: %s on %s n=%d: rounds=%d charged=%d msgs=%d leaders=%d leader=%d\n",
+		art.Proto, art.Family, art.N, d.Rounds, d.ChargedRounds, d.Messages, d.Leaders, d.LeaderID)
+	fmt.Printf("wall: connect=%.3fs run=%.3fs (%.1fms/round over %d processes)\n",
+		d.ConnectSeconds, d.ElapsedSeconds, d.SecondsPerRound*1000, art.N)
+	if art.Sim != nil {
+		fmt.Printf("sim:  rounds=%d charged=%d leader=%d in %.3fs\n",
+			art.Sim.Rounds, art.Sim.ChargedRounds, art.Sim.LeaderID, art.Sim.ElapsedSeconds)
+	}
+	if art.Match != nil {
+		fmt.Printf("match: %v\n", *art.Match)
+	}
+	if art.Interrupted {
+		fmt.Println("interrupted: partial election")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Node process
+
+// remoteControl adapts the coordinator control connection to the driver's
+// ControlPlane. Used from the single driver goroutine only.
+type remoteControl struct {
+	link transport.Link
+	buf  []byte
+}
+
+func (c *remoteControl) WaitStart() (int, bool, error) {
+	f, err := c.link.ReadFrame()
+	if err != nil {
+		return 0, false, err
+	}
+	switch f.Type {
+	case transport.FrameStart:
+		return f.Round, false, nil
+	case transport.FrameStop:
+		return 0, true, nil
+	}
+	return 0, false, fmt.Errorf("unexpected %v frame from coordinator", f.Type)
+}
+
+func (c *remoteControl) Report(r transport.Report) error {
+	c.buf = transport.AppendReport(c.buf[:0], r)
+	return writeFrame(c.link, transport.Frame{Type: transport.FrameReport, Body: c.buf})
+}
+
+func nodeMain(v int, coord string) error {
+	if coord == "" {
+		return errors.New("node mode requires -coord")
+	}
+	// ^C reaches the whole process group; the node keeps draining under
+	// the coordinator's direction but arms a deadline so it cannot outlive
+	// a dead coordinator.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+
+	conn, err := net.Dial("tcp", coord)
+	if err != nil {
+		return fmt.Errorf("node %d: dial coordinator: %w", v, err)
+	}
+	defer conn.Close()
+	go func() {
+		<-sigc
+		conn.SetDeadline(time.Now().Add(15 * time.Second))
+	}()
+	ctl := transport.NewStreamLink(conn, nil)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("node %d: data listen: %w", v, err)
+	}
+	defer ln.Close()
+
+	body, err := json.Marshal(joinMsg{Node: v, Addr: ln.Addr().String()})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(ctl, transport.Frame{Type: transport.FrameJoin, Body: body}); err != nil {
+		return fmt.Errorf("node %d: join: %w", v, err)
+	}
+
+	f, err := ctl.ReadFrame()
+	if err != nil || f.Type != transport.FramePlan {
+		return fmt.Errorf("node %d: waiting for plan: %v", v, err)
+	}
+	var plan planMsg
+	if err := json.Unmarshal(f.Body, &plan); err != nil {
+		return fmt.Errorf("node %d: plan: %w", v, err)
+	}
+
+	g, err := buildGraph(plan.Family, plan.N, plan.Seed)
+	if err != nil {
+		return fmt.Errorf("node %d: rebuild graph: %w", v, err)
+	}
+	entry, ok := core.Lookup(plan.Proto)
+	if !ok || entry.Wire == nil {
+		return fmt.Errorf("node %d: protocol %q not runnable here", v, plan.Proto)
+	}
+	runner, err := entry.Build(plan.PC)
+	if err != nil {
+		return fmt.Errorf("node %d: build: %w", v, err)
+	}
+
+	ctx := context.Background()
+	links, err := transport.ConnectNode(ctx, g, v, plan.Seed, ln,
+		func(w int) string { return plan.Peers[w] }, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("node %d: wire: %w", v, err)
+	}
+	defer func() {
+		for _, l := range links {
+			l.Close()
+		}
+	}()
+	ln.Close()
+
+	// The per-node machine stream is derived exactly as the simulator
+	// derives it; this is what makes the distributed election bit-equal.
+	deg := g.Degree(v)
+	var r rng.RNG
+	r.Reseed(rng.New(plan.Seed).DeriveSeed(uint64(v)))
+	st := sim.NewStepper(runner.Factory(v, deg, &r), v, deg, &r, nil)
+
+	transport.RunNode(v, st, entry.Wire, links, g, plan.CongestBits, &remoteControl{link: ctl})
+
+	o := outcomeMsg{Node: v, Halted: st.Halted()}
+	if lr, ok := st.Machine().(sim.LeaderReporter); ok {
+		o.Leader, o.ID = lr.LeaderInfo()
+	}
+	body, err = json.Marshal(o)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(ctl, transport.Frame{Type: transport.FrameOutcome, Body: body}); err != nil {
+		return fmt.Errorf("node %d: outcome: %w", v, err)
+	}
+	return nil
+}

@@ -17,18 +17,21 @@ func init() {
 		Info:    "FloodMax over sampled candidates, known n and D (Kutten-class baseline)",
 		Needs:   core.NeedDiam,
 		Build:   func(pc core.ProtoConfig) (core.Runner, error) { return buildFlood(pc, false) },
+		Wire:    wireCodec{},
 	})
 	core.Register(core.Entry{
 		Name:  "allflood",
 		Info:  "naive FloodMax with every node a candidate",
 		Needs: core.NeedDiam,
 		Build: func(pc core.ProtoConfig) (core.Runner, error) { return buildFlood(pc, true) },
+		Wire:  wireCodec{},
 	})
 	core.Register(core.Entry{
 		Name:  "walknotify",
 		Info:  "random-walk tokens with kill notifications (Gilbert-class baseline)",
 		Needs: core.NeedTMix,
 		Build: buildWalkNotify,
+		Wire:  wireCodec{},
 	})
 }
 
@@ -45,7 +48,7 @@ func buildFlood(pc core.ProtoConfig, allNodes bool) (core.Runner, error) {
 	}, nil
 }
 
-func collectFlood(nw *sim.Network) core.Outcome {
+func collectFlood(nw sim.View) core.Outcome {
 	out := core.Outcome{AllKnow: true}
 	for v := 0; v < nw.N(); v++ {
 		if nw.Crashed(v) {
@@ -73,7 +76,7 @@ func buildWalkNotify(pc core.ProtoConfig) (core.Runner, error) {
 	}, nil
 }
 
-func collectWalkNotify(nw *sim.Network) core.Outcome {
+func collectWalkNotify(nw sim.View) core.Outcome {
 	out := core.Outcome{AllKnow: true}
 	for v := 0; v < nw.N(); v++ {
 		if nw.Crashed(v) {

@@ -110,10 +110,12 @@ type Runner struct {
 	CheckEvery int
 	// MaxRounds caps an open-ended run.
 	MaxRounds int
-	// Converged reports stabilization of an open-ended run.
-	Converged func(nw *sim.Network) bool
-	// Collect reads the unified outcome off a finished network.
-	Collect func(nw *sim.Network) Outcome
+	// Converged reports stabilization of an open-ended run. It receives a
+	// read view instead of the concrete simulator so the same predicate
+	// drives the in-memory and real-transport backends.
+	Converged func(nw sim.View) bool
+	// Collect reads the unified outcome off a finished execution.
+	Collect func(nw sim.View) Outcome
 }
 
 // Entry is one protocol's registration: its canonical name, optional
@@ -130,6 +132,9 @@ type Entry struct {
 	Needs Needs
 	// Build resolves the config into an executable Runner.
 	Build func(pc ProtoConfig) (Runner, error)
+	// Wire serializes the protocol's payloads for the real-transport
+	// backend (nil: the protocol can only run on the in-memory simulator).
+	Wire sim.WireCodec
 }
 
 var (
@@ -183,17 +188,20 @@ func init() {
 		Info:  "Irrevocable Leader Election, known n (paper Section 4)",
 		Needs: NeedTMix | NeedPhi,
 		Build: buildIRE,
+		Wire:  wireCodec{},
 	})
 	Register(Entry{
 		Name:  "explicit",
 		Info:  "explicit IRE: Section 4 election + announcement flood and BFS tree (Section 3)",
 		Needs: NeedTMix | NeedPhi,
 		Build: buildExplicit,
+		Wire:  wireCodec{},
 	})
 	Register(Entry{
 		Name:  "revocable",
 		Info:  "Blind Leader Election with Certificates, unknown n (paper Section 5.2)",
 		Build: buildRevocable,
+		Wire:  wireCodec{},
 	})
 }
 
@@ -223,7 +231,7 @@ func buildIRE(pc ProtoConfig) (Runner, error) {
 	}, nil
 }
 
-func collectIRE(nw *sim.Network) Outcome {
+func collectIRE(nw sim.View) Outcome {
 	out := Outcome{AllKnow: true}
 	for v := 0; v < nw.N(); v++ {
 		if nw.Crashed(v) {
@@ -259,7 +267,7 @@ func buildExplicit(pc ProtoConfig) (Runner, error) {
 	}, nil
 }
 
-func collectExplicit(nw *sim.Network) Outcome {
+func collectExplicit(nw sim.View) Outcome {
 	n := nw.N()
 	out := Outcome{
 		AllKnow: true,
@@ -315,7 +323,7 @@ func buildRevocable(pc ProtoConfig) (Runner, error) {
 		Factory:    factory,
 		CheckEvery: 64,
 		MaxRounds:  maxRounds,
-		Converged:  func(nw *sim.Network) bool { return revocableConverged(nw, eps) },
+		Converged:  func(nw sim.View) bool { return revocableConverged(nw, eps) },
 		Collect:    collectRevocable,
 	}, nil
 }
@@ -324,7 +332,7 @@ func buildRevocable(pc ProtoConfig) (Runner, error) {
 // over surviving nodes (a crashed node can never choose, so including it
 // would run every faulted trial to the round cap). The reference output
 // comes from the lowest-index survivor.
-func revocableConverged(nw *sim.Network, eps float64) bool {
+func revocableConverged(nw sim.View, eps float64) bool {
 	n := nw.N()
 	ref := -1
 	for v := 0; v < n; v++ {
@@ -355,7 +363,7 @@ func revocableConverged(nw *sim.Network, eps float64) bool {
 	return true
 }
 
-func collectRevocable(nw *sim.Network) Outcome {
+func collectRevocable(nw sim.View) Outcome {
 	out := Outcome{AllKnow: true}
 	for v := 0; v < nw.N(); v++ {
 		if nw.Crashed(v) {

@@ -1,0 +1,24 @@
+package obs
+
+// Transport metric names, shared by internal/transport (producer) and the
+// report tooling (consumer). All series carry a backend label ("chan",
+// "pipe", "tcp").
+const (
+	// TransportFramesTx / Rx count data-plane frames written/read.
+	TransportFramesTx = "anonlead_transport_frames_tx"
+	TransportFramesRx = "anonlead_transport_frames_rx"
+	// TransportBytesTx / Rx count encoded payload bytes written/read.
+	TransportBytesTx = "anonlead_transport_bytes_tx"
+	TransportBytesRx = "anonlead_transport_bytes_rx"
+	// TransportRoundSeconds is the coordinator's wall-clock histogram of
+	// barrier-to-barrier round latency.
+	TransportRoundSeconds = "anonlead_transport_round_seconds"
+)
+
+// TransportRoundSecondsBounds buckets real-transport round latency:
+// log-spaced from 10µs (channel backend, small rings) to 10s (TCP under
+// injected delay faults).
+var TransportRoundSecondsBounds = []float64{
+	0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+	0.1, 0.5, 1, 5, 10,
+}

@@ -116,6 +116,11 @@ func defaultCongestBits(n int) int {
 	return 8 * bits
 }
 
+// DefaultCongestBits exposes the default budget to alternative execution
+// backends (internal/transport), which must charge link slots with the
+// same budget to stay metric-compatible with the simulator.
+func DefaultCongestBits(n int) int { return defaultCongestBits(n) }
+
 // New builds a network, constructs one machine per node via factory, and
 // runs every machine's Init (whose sends arrive at the start of round 0).
 func New(cfg Config, factory Factory) *Network {

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+	"anonlead/internal/trace"
+)
+
+// View is the read-only surface a protocol's convergence predicate and
+// outcome collector need from a finished (or quiescent) execution. Both
+// the in-memory simulator (*Network) and the real-transport cluster
+// implement it, which is what lets registered protocols run unmodified on
+// either backend: the registry's Collect/Converged hooks see the same
+// machines either way.
+type View interface {
+	// N returns the node count.
+	N() int
+	// Graph returns the underlying topology.
+	Graph() *graph.Graph
+	// Machine returns node v's protocol machine.
+	Machine(v int) Machine
+	// Halted reports whether node v has stopped.
+	Halted(v int) bool
+	// Crashed reports whether node v was crash-stopped by an adversary
+	// (always false on backends without fault injection).
+	Crashed(v int) bool
+}
+
+var _ View = (*Network)(nil)
+
+// Send is one outgoing message produced by a Stepper-driven machine step:
+// the public mirror of the simulator's internal send record.
+type Send struct {
+	// Port is the sender's port the payload leaves on.
+	Port int
+	// Channel tags the logical protocol execution (see Packet.Channel).
+	Channel uint32
+	// Payload is the message body.
+	Payload Payload
+}
+
+// Stepper drives a single protocol machine outside a Network: the
+// real-transport node driver owns one Stepper per node and pumps it with
+// the packets that arrived over the wire. The Stepper reproduces exactly
+// the per-node semantics of Network.stepNode — context reset, inbox
+// ordering, halt latching — so a machine cannot tell whether its packets
+// came from the in-memory router or a socket.
+//
+// A Stepper is not safe for concurrent use; drive it from one goroutine.
+type Stepper struct {
+	ctx Context
+	m   Machine
+	out []Send
+}
+
+// NewStepper builds a stepper for machine m on a node of the given degree.
+// node is used for trace attribution only (never exposed to the machine,
+// matching the anonymity contract of Factory); r is the node's private
+// random stream; rec may be nil to disable tracing.
+func NewStepper(m Machine, node, degree int, r *rng.RNG, rec trace.Recorder) *Stepper {
+	return &Stepper{
+		ctx: Context{degree: degree, rng: r, node: node, rec: rec},
+		m:   m,
+	}
+}
+
+// Init runs the machine's Init (round -1) and returns its sends, which the
+// caller must deliver for the start of round 0. The returned slice is
+// reused by the next Init/Step call.
+func (s *Stepper) Init() []Send {
+	s.ctx.reset(-1)
+	s.m.Init(&s.ctx)
+	return s.collect()
+}
+
+// Step runs one round with the packets delivered this round. The inbox is
+// sorted in place into the simulator's canonical (port, channel) order, so
+// callers only need to preserve per-link arrival order. A halted machine
+// is not stepped and sends nothing. The returned slice is reused by the
+// next call.
+func (s *Stepper) Step(round int, inbox []Packet) []Send {
+	s.ctx.reset(round)
+	if s.ctx.halted {
+		return nil
+	}
+	sortInbox(inbox)
+	s.m.Step(&s.ctx, inbox)
+	return s.collect()
+}
+
+// collect copies the context's sends into the public reuse buffer.
+func (s *Stepper) collect() []Send {
+	s.out = s.out[:0]
+	for _, sd := range s.ctx.out {
+		s.out = append(s.out, Send{Port: sd.port, Channel: sd.channel, Payload: sd.payload})
+	}
+	return s.out
+}
+
+// Halted reports whether the machine has called Halt. Halting is final:
+// further Step calls are no-ops.
+func (s *Stepper) Halted() bool { return s.ctx.halted }
+
+// Machine returns the driven machine, for outcome collection after a run.
+func (s *Stepper) Machine() Machine { return s.m }
+
+// Degree returns the node's port count.
+func (s *Stepper) Degree() int { return s.ctx.degree }

@@ -293,6 +293,11 @@ func (c *Coordinator) runExecWorker(ctx context.Context, w workerTask) (harness.
 	}
 	cmd := exec.CommandContext(ctx, c.cfg.Exec[0], args...)
 	cmd.Dir = c.cfg.Dir
+	// On cancellation forward SIGINT instead of the default SIGKILL so the
+	// lebench worker can flush its partial artifact and exit cleanly; the
+	// hard kill only lands if it overstays the drain window.
+	cmd.Cancel = func() error { return cmd.Process.Signal(os.Interrupt) }
+	cmd.WaitDelay = 10 * time.Second
 	var out bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &out, &out
 	if err := cmd.Run(); err != nil {

@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"time"
+
+	"anonlead/internal/adversary"
+	"anonlead/internal/rng"
+)
+
+// FrameFate is the transport fault layer's decision for one data frame.
+type FrameFate struct {
+	// Drop suppresses the frame entirely (the sender still accounts it
+	// as sent, like the simulator's loss adversary).
+	Drop bool
+	// Delay stalls the sender's write by a wall-clock duration. Round
+	// markers still follow the stalled frame, so synchrony is preserved;
+	// the round just takes longer.
+	Delay time.Duration
+}
+
+// FaultHook decides the fate of the seq-th data frame written on one link
+// endpoint. Hooks are called from the endpoint's single writer goroutine.
+type FaultHook func(seq uint64) FrameFate
+
+// FaultPlan derives the per-endpoint hooks: edge is the undirected edge's
+// index in the canonical enumeration (lower endpoint ascending, then port
+// ascending — the same order HandshakeTokens uses), dir is 0 for the
+// lower-to-higher direction and 1 for the reverse. A nil plan or a nil
+// returned hook means no faults on that endpoint.
+type FaultPlan func(edge, dir int) FaultHook
+
+// SpecFaults maps the loss/delay axes of an adversary spec onto a frame
+// fault plan: each frame's fate is drawn from a seed chain keyed by
+// (edge, direction, sequence number), so a run's fault pattern is a pure
+// function of the spec and seed — independent of goroutine scheduling —
+// exactly like the simulator's per-packet decision streams. tick converts
+// the spec's round-denominated MaxDelay into wall-clock stall units.
+// Crash and churn axes are ignored: this seam perturbs frames, not nodes.
+func SpecFaults(spec adversary.Spec, seed uint64, tick time.Duration) FaultPlan {
+	if spec.Loss == 0 && (spec.DelayProb == 0 || spec.MaxDelay == 0) {
+		return nil
+	}
+	root := rng.New(seed).SplitString("transport:faults")
+	return func(edge, dir int) FaultHook {
+		link := root.Split(uint64(edge)<<1 | uint64(dir&1))
+		return func(seq uint64) FrameFate {
+			r := link.Split(seq)
+			if r.Bernoulli(spec.Loss) {
+				return FrameFate{Drop: true}
+			}
+			if spec.MaxDelay > 0 && r.Bernoulli(spec.DelayProb) {
+				return FrameFate{Delay: tick * time.Duration(1+r.Intn(spec.MaxDelay))}
+			}
+			return FrameFate{}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"anonlead/internal/adversary"
+)
+
+func TestSpecFaultsZeroSpec(t *testing.T) {
+	if p := SpecFaults(adversary.Spec{}, 7, time.Millisecond); p != nil {
+		t.Fatal("zero spec should yield a nil plan")
+	}
+	// Delay without a round cap is inert too — adversary.Build defaults
+	// MaxDelay, but SpecFaults takes the spec literally.
+	if p := SpecFaults(adversary.Spec{DelayProb: 0.5}, 7, time.Millisecond); p != nil {
+		t.Fatal("delay spec without MaxDelay should yield a nil plan")
+	}
+	if p := SpecFaults(adversary.Spec{DelayProb: 0.5, MaxDelay: 3}, 7, time.Millisecond); p == nil {
+		t.Fatal("delay spec with MaxDelay should yield a plan")
+	}
+}
+
+func TestSpecFaultsDeterministic(t *testing.T) {
+	spec := adversary.Spec{Loss: 0.3, DelayProb: 0.2, MaxDelay: 4}
+	const seed = 42
+	tick := time.Millisecond
+
+	sample := func() [][]FrameFate {
+		plan := SpecFaults(spec, seed, tick)
+		if plan == nil {
+			t.Fatal("non-zero spec yielded nil plan")
+		}
+		var out [][]FrameFate
+		for edge := 0; edge < 3; edge++ {
+			for dir := 0; dir < 2; dir++ {
+				hook := plan(edge, dir)
+				fates := make([]FrameFate, 64)
+				for seq := range fates {
+					fates[seq] = hook(uint64(seq))
+				}
+				out = append(out, fates)
+			}
+		}
+		return out
+	}
+
+	a, b := sample(), sample()
+	drops, delays := 0, 0
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("link %d seq %d: fate differs across identical plans: %+v vs %+v", i, j, a[i][j], b[i][j])
+			}
+			if a[i][j].Drop {
+				drops++
+			}
+			if a[i][j].Delay > 0 {
+				delays++
+				if a[i][j].Delay > time.Duration(spec.MaxDelay)*tick {
+					t.Fatalf("delay %v exceeds cap %v", a[i][j].Delay, time.Duration(spec.MaxDelay)*tick)
+				}
+			}
+		}
+	}
+	// 384 samples at 30% loss / 20% delay: both should fire well away from
+	// zero and from saturation.
+	if drops == 0 || drops == 6*64 {
+		t.Fatalf("implausible drop count %d/384", drops)
+	}
+	if delays == 0 {
+		t.Fatalf("no delays sampled in 384 frames at DelayProb=0.2")
+	}
+
+	other := SpecFaults(spec, seed+1, tick)
+	diff := false
+	hookA, hookB := SpecFaults(spec, seed, tick)(0, 0), other(0, 0)
+	for seq := uint64(0); seq < 64 && !diff; seq++ {
+		if hookA(seq) != hookB(seq) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fate streams")
+	}
+}
+
+// TestStreamLinkDropsFaultedDataFrames checks the frame-level fault seam:
+// a hook that drops every data frame suppresses them on the wire while
+// round markers still pass, so the barrier protocol cannot wedge.
+func TestStreamLinkDropsFaultedDataFrames(t *testing.T) {
+	c1, c2 := net.Pipe()
+	dropAll := func(seq uint64) FrameFate { return FrameFate{Drop: true} }
+	tx := newStreamLink(c1, dropAll)
+	rx := newStreamLink(c2, nil)
+
+	done := make(chan error, 1)
+	go func() {
+		if err := tx.WriteFrame(Frame{Type: FrameData, Round: 0, Body: []byte{1, 2, 3}}); err != nil {
+			done <- err
+			return
+		}
+		if err := tx.WriteFrame(Frame{Type: FrameEOR, Round: 0}); err != nil {
+			done <- err
+			return
+		}
+		done <- tx.Flush()
+	}()
+
+	f, err := rx.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameEOR || f.Round != 0 {
+		t.Fatalf("first frame on the wire is %+v, want the EOR marker (data frame should be dropped)", f)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	tx.Close()
+	rx.Close()
+}
+
+// TestStreamLinkDelaysFaultedDataFrames checks the delay arm: the frame
+// still arrives, after at least the injected latency.
+func TestStreamLinkDelaysFaultedDataFrames(t *testing.T) {
+	const lag = 30 * time.Millisecond
+	c1, c2 := net.Pipe()
+	delay := func(seq uint64) FrameFate { return FrameFate{Delay: lag} }
+	tx := newStreamLink(c1, delay)
+	rx := newStreamLink(c2, nil)
+
+	start := time.Now()
+	go func() {
+		tx.WriteFrame(Frame{Type: FrameData, Round: 0, Body: []byte{9}})
+		tx.Flush()
+	}()
+	f, err := rx.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameData {
+		t.Fatalf("got %v frame", f.Type)
+	}
+	if el := time.Since(start); el < lag {
+		t.Fatalf("frame arrived after %v, before the %v injected delay", el, lag)
+	}
+	tx.Close()
+	rx.Close()
+}

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/sim"
+)
+
+// This file is the multi-process deployment surface: what a node process
+// (cmd/ledist) needs to wire its own ports and run its driver against a
+// remote coordinator. Everything reuses the in-process machinery — the
+// frame contract, the handshake tokens, the driver's synchronizer
+// discipline — so a multi-process run is bit-compatible with a Cluster run
+// and with the simulator.
+
+// NewStreamLink wraps an established byte-stream connection as a Link.
+// hook optionally injects per-data-frame fault fates (nil: fault-free).
+func NewStreamLink(conn net.Conn, hook FaultHook) Link { return newStreamLink(conn, hook) }
+
+// EdgeIndices returns the canonical undirected edge index for every
+// directed port slot, idx[EdgeOffsets[v]+p] for node v's port p — the
+// indexing HandshakeTokens derives tokens under. Every process of a
+// distributed run computes the same indexing from the shared topology.
+func EdgeIndices(g *graph.Graph) []int { return edgeIndices(g) }
+
+// ControlPlane is a node process's connection to its coordinator: round
+// releases in, per-round reports out. Implementations are used from a
+// single goroutine.
+type ControlPlane interface {
+	// WaitStart blocks until the coordinator releases the next round
+	// (stop=false) or ends the run (stop=true).
+	WaitStart() (round int, stop bool, err error)
+	// Report delivers the node's account of the round just executed.
+	Report(r Report) error
+}
+
+// cpAdapter bridges the exported ControlPlane onto the driver's internal
+// interface.
+type cpAdapter struct{ cp ControlPlane }
+
+func (a cpAdapter) waitStart() (startMsg, error) {
+	round, stop, err := a.cp.WaitStart()
+	return startMsg{round: round, stop: stop}, err
+}
+
+func (a cpAdapter) report(r Report) error { return a.cp.Report(r) }
+
+// RunNode runs one node of a distributed election to completion: the Init
+// flush, then one round per coordinator release until the stop signal.
+// It blocks until the run ends and leaves the links open (the caller owns
+// teardown). congestBits <= 0 selects the simulator's default budget.
+func RunNode(node int, st *sim.Stepper, codec sim.WireCodec, links []Link, g *graph.Graph, congestBits int, cp ControlPlane) {
+	if congestBits <= 0 {
+		congestBits = sim.DefaultCongestBits(g.N())
+	}
+	d := newDriver(node, st, codec, links, congestBits, newWireMetrics("dist"))
+	d.run(cpAdapter{cp})
+}
+
+// ConnectNode establishes one node's data-plane links of a multi-process
+// deployment, the per-node half of TCPTransport.Connect: the node accepts
+// one connection per lower-indexed neighbor on ln (verifying each Hello
+// token), and dials every higher-indexed neighbor at addrOf(w) (opening
+// with the edge's token and the acceptor-side port). The returned slice
+// has one Link per port of node v. On error every established connection
+// is closed.
+func ConnectNode(ctx context.Context, g *graph.Graph, v int, seed uint64, ln net.Listener, addrOf func(w int) string, timeout time.Duration) ([]Link, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	off := g.EdgeOffsets()
+	revPort := g.ReversePorts()
+	edgeID := edgeIndices(g)
+	tokens := HandshakeTokens(g, seed)
+
+	links := make([]Link, g.Degree(v))
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		ln.Close() // unblock the accept loop
+	}
+
+	want := 0
+	expect := make(map[int]uint64)
+	for q := 0; q < g.Degree(v); q++ {
+		if g.Neighbor(v, q) < v {
+			want++
+			expect[q] = tokens[edgeID[off[v]+q]]
+		}
+	}
+
+	var wg sync.WaitGroup
+	if want > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < want; i++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					fail(err)
+					return
+				}
+				conn.SetDeadline(deadline)
+				l := newStreamLink(conn, nil)
+				f, err := l.ReadFrame()
+				if err != nil {
+					conn.Close()
+					fail(fmt.Errorf("transport: handshake read: %w", err))
+					return
+				}
+				q, token, err := parseHello(f)
+				if err != nil {
+					conn.Close()
+					fail(err)
+					return
+				}
+				mu.Lock()
+				wantTok, ok := expect[q]
+				bad := !ok || wantTok != token || links[q] != nil
+				if !bad {
+					links[q] = l
+				}
+				mu.Unlock()
+				if bad {
+					conn.Close()
+					fail(fmt.Errorf("transport: bad handshake for acceptor port %d", q))
+					return
+				}
+				conn.SetDeadline(time.Time{})
+			}
+		}()
+	}
+
+	dialer := net.Dialer{Deadline: deadline}
+	for p := 0; p < g.Degree(v) && firstErrIsNil(&mu, &firstErr); p++ {
+		w := g.Neighbor(v, p)
+		if w < v {
+			continue
+		}
+		conn, err := dialer.DialContext(ctx, "tcp", addrOf(w))
+		if err != nil {
+			fail(fmt.Errorf("transport: dial edge (%d,%d): %w", v, w, err))
+			break
+		}
+		conn.SetDeadline(deadline)
+		e := edgeID[off[v]+p]
+		q := int(revPort[off[v]+p])
+		l := newStreamLink(conn, nil)
+		var body [12]byte
+		binary.BigEndian.PutUint64(body[:8], tokens[e])
+		nb := binary.PutUvarint(body[8:], uint64(q))
+		err = l.WriteFrame(Frame{Type: FrameHello, Body: body[:8+nb]})
+		if err == nil {
+			err = l.Flush()
+		}
+		if err != nil {
+			conn.Close()
+			fail(fmt.Errorf("transport: hello edge (%d,%d): %w", v, w, err))
+			break
+		}
+		conn.SetDeadline(time.Time{})
+		mu.Lock()
+		links[p] = l
+		mu.Unlock()
+	}
+
+	watchdogDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-watchdogDone:
+		}
+	}()
+	wg.Wait()
+	close(watchdogDone)
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err == nil {
+		for p, l := range links {
+			if l == nil {
+				err = fmt.Errorf("transport: node %d port %d never connected", v, p)
+				break
+			}
+		}
+	}
+	if err != nil {
+		for _, l := range links {
+			if l != nil {
+				l.Close()
+			}
+		}
+		return nil, err
+	}
+	return links, nil
+}
+
+func firstErrIsNil(mu *sync.Mutex, firstErr *error) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return *firstErr == nil
+}

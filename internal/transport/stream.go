@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"time"
+
+	"anonlead/internal/graph"
+)
+
+// streamLink frames a reliable byte stream (net.Pipe, TCP): every frame
+// actually serializes through the wire format. Reads and writes may run
+// concurrently (one driver writer, one reader goroutine), matching
+// net.Conn's concurrency contract; Close unblocks both.
+type streamLink struct {
+	conn io.ReadWriteCloser
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	wbuf []byte // encode scratch, one frame at a time
+	rbuf []byte // decode scratch; returned Frame bodies alias it
+	hook FaultHook
+	seq  uint64
+}
+
+func newStreamLink(conn io.ReadWriteCloser, hook FaultHook) *streamLink {
+	return &streamLink{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+		hook: hook,
+	}
+}
+
+func (l *streamLink) WriteFrame(f Frame) error {
+	if l.hook != nil && f.Type == FrameData {
+		// The fault seam applies to data frames only: round markers must
+		// always arrive or the barrier would wedge. A dropped frame was
+		// "sent" as far as the sender's accounting is concerned, exactly
+		// like the simulator's loss adversary.
+		fate := l.hook(l.seq)
+		l.seq++
+		if fate.Drop {
+			return nil
+		}
+		if fate.Delay > 0 {
+			time.Sleep(fate.Delay)
+		}
+	}
+	buf, err := AppendFrame(l.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	l.wbuf = buf
+	_, err = l.bw.Write(buf)
+	return err
+}
+
+func (l *streamLink) Flush() error { return l.bw.Flush() }
+
+func (l *streamLink) ReadFrame() (Frame, error) {
+	var hdr [framePrefixSize]byte
+	if _, err := io.ReadFull(l.br, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	switch {
+	case size == 0:
+		return Frame{}, ErrEmptyFrame
+	case size > MaxFrameSize:
+		return Frame{}, ErrFrameTooLarge
+	}
+	if cap(l.rbuf) < size {
+		l.rbuf = make([]byte, size)
+	}
+	buf := l.rbuf[:size]
+	if _, err := io.ReadFull(l.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return parseFrameBody(buf)
+}
+
+func (l *streamLink) Close() error { return l.conn.Close() }
+
+// PipeTransport wires the topology with synchronous in-memory byte
+// streams (net.Pipe): the full framing and flush path of the TCP backend
+// without sockets, so tests exercise wire encoding and backpressure
+// hermetically.
+type PipeTransport struct{}
+
+// Name implements Transport.
+func (PipeTransport) Name() string { return "pipe" }
+
+// Connect implements Transport.
+func (PipeTransport) Connect(_ context.Context, g *graph.Graph, _ uint64) (*Fabric, error) {
+	return wireEdges(g, func(v, p, w, q int) (Link, Link, error) {
+		cv, cw := net.Pipe()
+		return newStreamLink(cv, nil), newStreamLink(cw, nil), nil
+	})
+}

@@ -1,0 +1,276 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+)
+
+// TCPTransport wires the topology with real TCP connections, one per
+// edge, established through an anonymity-preserving handshake: the lower
+// endpoint of each edge dials the higher endpoint's listener and opens
+// with a Hello frame carrying the edge's seed-derived token plus the
+// acceptor-side port number. Ports are exactly the local names the
+// anonymous model grants a node, and the token authenticates the edge
+// without either side revealing a global identity — so the handshake adds
+// no knowledge the protocol machines could exploit, and determinism holds:
+// the same seed elects the same leader in the same round as the simulator.
+type TCPTransport struct {
+	// Addr is the listen address; default "127.0.0.1:0" (kernel-assigned
+	// ports on loopback).
+	Addr string
+	// Faults optionally injects per-data-frame drop/delay fates (see
+	// SpecFaults). Fault-free runs are bit-compatible with the simulator;
+	// dropping breaks that equivalence by design.
+	Faults FaultPlan
+	// HandshakeTimeout bounds connection establishment (default 10s).
+	HandshakeTimeout time.Duration
+}
+
+// Name implements Transport.
+func (TCPTransport) Name() string { return "tcp" }
+
+// HandshakeTokens derives the per-edge handshake secrets from the run
+// seed. Edges are indexed in the canonical enumeration order (lower
+// endpoint ascending, then its ports ascending), which both endpoints of
+// a distributed run can compute from the shared topology alone. The
+// tokens authenticate edges, not nodes: no node index is derivable from
+// what crosses the wire.
+func HandshakeTokens(g *graph.Graph, seed uint64) []uint64 {
+	root := rng.New(seed).SplitString("transport:handshake")
+	tokens := make([]uint64, g.M())
+	for i := range tokens {
+		tokens[i] = root.DeriveSeed(uint64(i))
+	}
+	return tokens
+}
+
+// edgeIndices returns the canonical undirected edge index for every
+// directed port slot: idx[off[v]+p] for node v's port p.
+func edgeIndices(g *graph.Graph) []int {
+	off := g.EdgeOffsets()
+	revPort := g.ReversePorts()
+	idx := make([]int, off[g.N()])
+	id := 0
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Degree(v); p++ {
+			w := g.Neighbor(v, p)
+			if w < v {
+				continue
+			}
+			q := int(revPort[off[v]+p])
+			idx[off[v]+p] = id
+			idx[off[w]+q] = id
+			id++
+		}
+	}
+	return idx
+}
+
+// Connect implements Transport: it stands up one loopback listener per
+// node, dials every edge from its lower endpoint, and verifies the Hello
+// token before installing the link. All nodes live in this process; the
+// multi-process variant in cmd/ledist reuses the same frame contract and
+// tokens but each node process wires only its own ports.
+func (t TCPTransport) Connect(ctx context.Context, g *graph.Graph, seed uint64) (*Fabric, error) {
+	n := g.N()
+	addr := t.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	timeout := t.HandshakeTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+
+	off := g.EdgeOffsets()
+	revPort := g.ReversePorts()
+	edgeID := edgeIndices(g)
+	tokens := HandshakeTokens(g, seed)
+
+	listeners := make([]net.Listener, n)
+	for v := range listeners {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			for _, l := range listeners[:v] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		listeners[v] = ln
+	}
+	closeListeners := func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}
+
+	links := make([][]Link, n)
+	for v := range links {
+		links[v] = make([]Link, g.Degree(v))
+	}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		closeListeners() // unblock every accept loop
+	}
+	install := func(v, p int, l Link) {
+		mu.Lock()
+		links[v][p] = l
+		mu.Unlock()
+	}
+	hook := func(edge, dir int) FaultHook {
+		if t.Faults == nil {
+			return nil
+		}
+		return t.Faults(edge, dir)
+	}
+
+	var wg sync.WaitGroup
+	// Acceptors: node w accepts one connection per port whose peer has
+	// the lower index (that peer dials).
+	for w := 0; w < n; w++ {
+		want := 0
+		expect := make(map[int]uint64) // acceptor port -> edge token
+		for q := 0; q < g.Degree(w); q++ {
+			if g.Neighbor(w, q) < w {
+				want++
+				expect[q] = tokens[edgeID[off[w]+q]]
+			}
+		}
+		if want == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, want int, expect map[int]uint64) {
+			defer wg.Done()
+			for i := 0; i < want; i++ {
+				conn, err := listeners[w].Accept()
+				if err != nil {
+					fail(err)
+					return
+				}
+				conn.SetDeadline(deadline)
+				l := newStreamLink(conn, nil)
+				f, err := l.ReadFrame()
+				if err != nil {
+					conn.Close()
+					fail(fmt.Errorf("transport: handshake read: %w", err))
+					return
+				}
+				q, token, err := parseHello(f)
+				if err != nil {
+					conn.Close()
+					fail(err)
+					return
+				}
+				wantTok, ok := expect[q]
+				if !ok || wantTok != token || links[w][q] != nil {
+					conn.Close()
+					fail(fmt.Errorf("transport: bad handshake for acceptor port %d", q))
+					return
+				}
+				conn.SetDeadline(time.Time{})
+				l.hook = hook(edgeID[off[w]+q], 1)
+				install(w, q, l)
+			}
+		}(w, want, expect)
+	}
+	// Dialer: every edge is dialed from its lower endpoint, sequentially
+	// (kernel accept queues decouple dialing from the accept loops).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dialer := net.Dialer{Deadline: deadline}
+		for v := 0; v < n; v++ {
+			for p := 0; p < g.Degree(v); p++ {
+				w := g.Neighbor(v, p)
+				if w < v {
+					continue
+				}
+				conn, err := dialer.DialContext(ctx, "tcp", listeners[w].Addr().String())
+				if err != nil {
+					fail(fmt.Errorf("transport: dial edge (%d,%d): %w", v, w, err))
+					return
+				}
+				conn.SetDeadline(deadline)
+				e := edgeID[off[v]+p]
+				q := int(revPort[off[v]+p])
+				l := newStreamLink(conn, hook(e, 0))
+				var body [12]byte
+				binary.BigEndian.PutUint64(body[:8], tokens[e])
+				nb := binary.PutUvarint(body[8:], uint64(q))
+				err = l.WriteFrame(Frame{Type: FrameHello, Body: body[:8+nb]})
+				if err == nil {
+					err = l.Flush()
+				}
+				if err != nil {
+					conn.Close()
+					fail(fmt.Errorf("transport: hello edge (%d,%d): %w", v, w, err))
+					return
+				}
+				conn.SetDeadline(time.Time{})
+				install(v, p, l)
+			}
+		}
+	}()
+
+	// Abort establishment if the context dies while accepts are parked.
+	watchdogDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-watchdogDone:
+		}
+	}()
+	wg.Wait()
+	close(watchdogDone)
+	closeListeners()
+
+	fabric := &Fabric{Links: links}
+	if firstErr != nil {
+		fabric.Close()
+		return nil, firstErr
+	}
+	for v := range links {
+		for p, l := range links[v] {
+			if l == nil {
+				fabric.Close()
+				return nil, fmt.Errorf("transport: edge at node %d port %d never connected", v, p)
+			}
+		}
+	}
+	return fabric, nil
+}
+
+// parseHello extracts (acceptor port, token) from a Hello frame body.
+func parseHello(f Frame) (int, uint64, error) {
+	if f.Type != FrameHello {
+		return 0, 0, fmt.Errorf("transport: expected hello, got %v", f.Type)
+	}
+	if len(f.Body) < 9 {
+		return 0, 0, fmt.Errorf("transport: short hello body")
+	}
+	token := binary.BigEndian.Uint64(f.Body[:8])
+	port, n := binary.Uvarint(f.Body[8:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("transport: bad hello port varint")
+	}
+	return int(port), token, nil
+}

@@ -1,6 +1,9 @@
 package anonlead
 
-import "anonlead/internal/core"
+import (
+	"anonlead/internal/core"
+	"anonlead/internal/transport"
+)
 
 // options aggregates all election tunables; zero values select the
 // defaults documented on the With* constructors. The protocol scalars
@@ -12,6 +15,7 @@ type options struct {
 	seed      uint64
 	parallel  bool
 	scheduler Scheduler
+	transport Transport
 	adversary *AdversarySpec
 	observer  func(RoundInfo)
 	tracer    TraceRecorder
@@ -49,6 +53,66 @@ func WithParallel(parallel bool) Option {
 // throughput knob. Default Sequential.
 func WithScheduler(s Scheduler) Option {
 	return func(o *options) { o.scheduler = s }
+}
+
+// Transport selects the execution substrate of a Run.
+type Transport int
+
+const (
+	// TransportSim runs on the in-memory simulator: one process-local
+	// router, no per-node goroutines. The default, and the only backend
+	// that supports WithAdversary and the parallel schedulers.
+	TransportSim Transport = iota
+	// TransportChan runs every node as a real message-passing goroutine;
+	// links are in-process channels carrying framed messages.
+	TransportChan
+	// TransportPipe is TransportChan with links as synchronous byte
+	// streams (net.Pipe): the full wire encoding without sockets.
+	TransportPipe
+	// TransportTCP connects the nodes over localhost TCP sockets,
+	// established through a seed-derived anonymous handshake.
+	TransportTCP
+)
+
+// internal maps the public selector onto a transport backend (nil for the
+// simulator).
+func (t Transport) internal() transport.Transport {
+	switch t {
+	case TransportChan:
+		return transport.ChanTransport{}
+	case TransportPipe:
+		return transport.PipeTransport{}
+	case TransportTCP:
+		return transport.TCPTransport{}
+	default:
+		return nil
+	}
+}
+
+// String names the backend ("sim", "chan", "pipe", "tcp").
+func (t Transport) String() string {
+	if t == TransportSim {
+		return "sim"
+	}
+	if tr := t.internal(); tr != nil {
+		return tr.Name()
+	}
+	return "transport(?)"
+}
+
+// WithTransport selects the execution backend. With the default
+// TransportSim the election runs on the in-memory simulator; the other
+// backends run each node as an actual concurrent entity exchanging
+// length-prefixed framed messages over per-port links, with a coordinator
+// barrier enforcing CONGEST synchrony. Execution is bit-compatible across
+// backends: the same seed elects the same leader in the same number of
+// rounds with the same cost metrics. Non-simulator backends require the
+// protocol to have a registered wire codec (all built-in protocols do)
+// and cannot be combined with WithAdversary — simulated faults live in
+// the simulator's router; transport-level frame faults are a separate
+// seam (see internal/transport).
+func WithTransport(t Transport) Option {
+	return func(o *options) { o.transport = t }
 }
 
 // WithAdversary injects deterministic faults into the run as described by

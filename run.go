@@ -11,6 +11,8 @@ import (
 	"anonlead/internal/core"
 	"anonlead/internal/sim"
 	"anonlead/internal/spectral"
+	"anonlead/internal/trace"
+	"anonlead/internal/transport"
 )
 
 // Canonical names of the registered protocols (see the package docs for
@@ -198,36 +200,65 @@ func (nw *Network) Run(ctx context.Context, protocol string, opts ...Option) (Ou
 		return Outcome{}, err
 	}
 
-	cfg := sim.Config{
-		Graph:     nw.g,
-		Seed:      o.seed,
-		Parallel:  o.parallel,
-		Scheduler: o.scheduler.toSim(),
-		Adversary: adv,
-	}
+	var observer func(sim.RoundInfo)
 	if o.observer != nil {
 		obs := o.observer
-		cfg.Observer = func(ri sim.RoundInfo) {
+		observer = func(ri sim.RoundInfo) {
 			obs(RoundInfo{Round: ri.Round, Halted: ri.Halted, Metrics: metricsFromSim(ri.Metrics)})
 		}
 	}
+	var tracer trace.Recorder
 	if o.tracer != nil {
-		cfg.Trace = traceAdapter{o.tracer}
+		tracer = traceAdapter{o.tracer}
 	}
-	net := sim.New(cfg, runner.Factory)
-	defer net.Close()
+
+	// Both backends present the same Runtime surface, so everything below
+	// the construction branch — the run loop, halt checks, metric and
+	// outcome collection — is backend-agnostic.
+	var eng transport.Runtime
+	if backend := o.transport.internal(); backend == nil {
+		net := sim.New(sim.Config{
+			Graph:     nw.g,
+			Seed:      o.seed,
+			Parallel:  o.parallel,
+			Scheduler: o.scheduler.toSim(),
+			Adversary: adv,
+			Observer:  observer,
+			Trace:     tracer,
+		}, runner.Factory)
+		eng = net
+	} else {
+		if entry.Wire == nil {
+			return Outcome{}, fmt.Errorf("anonlead: protocol %s has no wire codec; it runs only on TransportSim", entry.Name)
+		}
+		if adv != nil {
+			return Outcome{}, fmt.Errorf("anonlead: WithAdversary requires TransportSim (transport-level faults are a frame-layer seam, not a router feature)")
+		}
+		cluster, err := transport.NewCluster(ctx, transport.Config{
+			Graph:     nw.g,
+			Seed:      o.seed,
+			Transport: backend,
+			Trace:     tracer,
+			Observer:  observer,
+		}, runner.Factory, entry.Wire)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("anonlead: %w", err)
+		}
+		eng = cluster
+	}
+	defer eng.Close()
 
 	var rounds int
 	var runErr error
 	if runner.Budget > 0 {
-		rounds, runErr = net.RunContext(ctx, runner.Budget)
+		rounds, runErr = eng.RunContext(ctx, runner.Budget)
 	} else {
 		every := runner.CheckEvery
 		if every < 1 {
 			every = 1
 		}
-		rounds, runErr = net.RunUntilContext(ctx, runner.MaxRounds, func(completed int) bool {
-			return completed%every == 0 && runner.Converged(net)
+		rounds, runErr = eng.RunUntilContext(ctx, runner.MaxRounds, func(completed int) bool {
+			return completed%every == 0 && runner.Converged(eng)
 		})
 	}
 
@@ -236,23 +267,23 @@ func (nw *Network) Run(ctx context.Context, protocol string, opts ...Option) (Ou
 		pub := publicProfile(sp)
 		out.Profile = &pub
 	}
-	m := net.Metrics()
+	m := eng.Metrics()
 	fillMetrics(&out.Result, m)
 	out.Metrics = metricsFromSim(m)
 	if runErr != nil {
 		return out, fmt.Errorf("anonlead: %s stopped after %d rounds: %w", entry.Name, rounds, runErr)
 	}
 	if runner.Budget > 0 {
-		if !net.AllHalted() {
+		if !eng.AllHalted() {
 			return out, fmt.Errorf("anonlead: %s did not halt within %d rounds: %w",
 				entry.Name, runner.Budget, ErrNotHalted)
 		}
-	} else if !runner.Converged(net) {
+	} else if !runner.Converged(eng) {
 		return out, fmt.Errorf("anonlead: %s did not stabilize within %d rounds: %w",
 			entry.Name, rounds, ErrNotStabilized)
 	}
 
-	co := runner.Collect(net)
+	co := runner.Collect(eng)
 	out.Leaders = co.Leaders
 	out.Unique = len(co.Leaders) == 1
 	out.LeaderID = co.LeaderID
