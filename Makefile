@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench faults-smoke scaling-smoke obs-smoke dist-demo bench-artifact benchdiff report baseline sweep-dist series-report lint fmt ci clean
+.PHONY: all build test race bench faults-smoke epochs-smoke scaling-smoke obs-smoke dist-demo bench-artifact benchdiff report baseline sweep-dist series-report lint fmt ci clean
 
 all: build
 
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/adversary/... \
 		./internal/trace/... ./internal/obs/... ./internal/sweep/... \
-		./internal/transport/...
+		./internal/transport/... ./internal/epoch/...
 
 # Bench smoke: every benchmark once. BenchmarkHarnessSweep writes
 # BENCH_harness.json, which CI uploads for cross-PR perf tracking.
@@ -35,6 +35,14 @@ bench:
 # subsystem. CI's bench-smoke job runs this next to the benchmarks.
 faults-smoke:
 	$(GO) run ./cmd/lebench -exp faults -quick -parallel
+
+# Epoch smoke: the quick repeated-election scenarios (seed-chained crash-
+# recover and revoke histories under the static and traffic-adaptive
+# adversary rungs) end to end through anonlead.RunEpochs, archived as the
+# separate BENCH_epochs.json artifact. CI's bench-smoke job runs this next
+# to the fault curves.
+epochs-smoke:
+	$(GO) run ./cmd/lebench -exp epochs -quick -parallel -json BENCH_epochs.json
 
 # Scaling smoke: one 100k-node expander cell under the streaming estimate
 # regime, run twice so the second run demonstrates the profile-cache hit
@@ -131,6 +139,7 @@ ci: build lint test race bench
 
 clean:
 	rm -f BENCH_harness.json BENCH_scaling.json BENCH_dist.json BENCH_local.json REPORT.md
+	rm -f BENCH_epochs.json
 	rm -f BENCH_obs.json TRACE_lebench.json OBS_metrics.json CPU_lebench.pprof REPORT_obs.md
 	rm -f DIST_demo.json
 	$(GO) clean -testcache

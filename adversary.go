@@ -78,19 +78,36 @@ type AdversarySpec struct {
 	DelayProb float64
 	// MaxDelay bounds the lateness (uniform 1..MaxDelay extra rounds).
 	MaxDelay int
+
+	// AdaptiveCrash enables the traffic-adaptive crash adversary: every
+	// AdaptiveWindow rounds the AdaptiveCrash busiest nodes of that window
+	// crash-stop — targeting the busiest node approximates targeting the
+	// emerging leader. Victims are a pure function of the observed traffic
+	// (no extra randomness), so adaptive runs stay deterministic per seed
+	// and bit-identical across schedulers. 0 disables.
+	AdaptiveCrash int
+	// AdaptiveWindow is the traffic-observation window in rounds
+	// (0 = default 8).
+	AdaptiveWindow int
+	// AdaptiveStrikes bounds how many windows claim victims before the
+	// adaptive adversary goes dormant (0 = default 1).
+	AdaptiveStrikes int
 }
 
 // internal maps the public spec onto the runtime one, field for field.
 func (s AdversarySpec) internal() adversary.Spec {
 	return adversary.Spec{
-		Loss:          s.Loss,
-		CrashFraction: s.CrashFraction,
-		CrashBy:       s.CrashBy,
-		CrashSchedule: s.CrashSchedule,
-		Churn:         s.Churn,
-		ChurnPreserve: s.ChurnPreserve,
-		DelayProb:     s.DelayProb,
-		MaxDelay:      s.MaxDelay,
+		Loss:            s.Loss,
+		CrashFraction:   s.CrashFraction,
+		CrashBy:         s.CrashBy,
+		CrashSchedule:   s.CrashSchedule,
+		Churn:           s.Churn,
+		ChurnPreserve:   s.ChurnPreserve,
+		DelayProb:       s.DelayProb,
+		MaxDelay:        s.MaxDelay,
+		AdaptiveCrash:   s.AdaptiveCrash,
+		AdaptiveWindow:  s.AdaptiveWindow,
+		AdaptiveStrikes: s.AdaptiveStrikes,
 	}
 }
 
@@ -113,6 +130,9 @@ func (s AdversarySpec) Validate() error { return s.internal().Validate() }
 //	churn=<p>[+conn]      per-edge downtime at rate p (+conn preserves
 //	                      connectivity via a spanning tree)
 //	delay=<p>x<d>         delivery jitter: probability p, 1..d rounds late
+//	adaptive=<k>@<w>[x<s>] traffic-adaptive crashes: k busiest nodes per
+//	                      w-round window, s strike windows (omitted at the
+//	                      default s=1); defaults are rendered resolved
 //
 // A zero spec yields "". The descriptor is part of a sweep cell's
 // identity in the bench artifacts, so it is stable across versions.

@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"anonlead/internal/adversary"
 	"anonlead/internal/baseline"
 	"anonlead/internal/core"
 	"anonlead/internal/graph"
@@ -350,6 +351,29 @@ func TestRoundLoopZeroAllocObservabilityDisabled(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(50, func() { obs.Span("trials")() }); avg > 0 {
 		t.Fatalf("disabled obs.Span allocates %.1f objects, want 0", avg)
+	}
+}
+
+// TestRoundLoopZeroAllocWithStaticAdversary extends the zero-allocation
+// guard across the fault-injection path: a composed static (non-adaptive)
+// adversary — per-packet loss decisions plus a crash schedule — must not
+// cost the warmed round loop a single allocation. The adversaries' random
+// decisions run on value-typed reseeded RNG chains precisely so this
+// holds; only traffic-adaptive adversaries buy a per-round traffic
+// buffer.
+func TestRoundLoopZeroAllocWithStaticAdversary(t *testing.T) {
+	g := graph.Torus(8, 8)
+	adv := adversary.Compose(
+		adversary.NewLoss(0.2, 7),
+		adversary.NewCrashSchedule(g.N(), map[int]int{4: 3, 12: 9}),
+	)
+	nw := sim.New(sim.Config{Graph: g, Adversary: adv}, obsChatterFactory())
+	nw.Run(16) // warm past both scheduled crashes
+	if avg := testing.AllocsPerRun(50, func() { nw.Step() }); avg > 0.5 {
+		t.Fatalf("steady-state round allocates %.1f objects with a static adversary, want 0", avg)
+	}
+	if nw.Metrics().Dropped == 0 {
+		t.Fatal("loss adversary dropped nothing; the guard measured a dead fault path")
 	}
 }
 

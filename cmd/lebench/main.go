@@ -12,6 +12,7 @@
 //	lebench -exp faults            # F1-F5 fault-injection resilience curves
 //	lebench -exp sweeps            # table1 + knowledge + faults (the artifact cells)
 //	lebench -exp scaling           # n=10^3..10^5 ramps under the estimate regime
+//	lebench -exp epochs            # E1-E3 repeated-election epoch scenarios
 //	lebench -exp all -quick        # everything, reduced sweep
 //	lebench -exp table1 -parallel  # fan cells/trials over all CPUs
 //	lebench -exp table1 -parallel -shards 8 -json BENCH_harness.json
@@ -29,6 +30,15 @@
 // lands in the JSON artifact — and is what CI's bench-gate job executes
 // before diffing the artifact against testdata/BENCH_baseline.json with
 // cmd/benchdiff.
+//
+// -exp epochs runs the repeated-election scenarios (anonlead.RunEpochs
+// through the harness): seed-chained epochs of elect → lead → leader
+// crashes or revokes → re-elect on one persistent topology, swept over an
+// adversary ladder that compares a static crash schedule against the
+// traffic-adaptive adversary targeting the busiest node. Scenario cells
+// carry their epoch descriptor and amortized per-epoch stats in the
+// schema-v6 artifact (conventionally archived as BENCH_epochs.json, a
+// separate artifact from the -exp sweeps matrix).
 //
 // -exp scaling is the estimate-regime counterpart of Table 1: size ramps
 // to n = 10^5, where profiles come from the streaming spectral estimators
@@ -147,7 +157,7 @@ func (s *session) sweep(specs []harness.CellSpec) ([]harness.Cell, error) {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, faults, sweeps, scaling, all")
+		exp        = flag.String("exp", "all", "experiment: table1, figures, ablations, knowledge, faults, sweeps, scaling, epochs, all")
 		quick      = flag.Bool("quick", false, "reduced sweeps for a fast pass")
 		trials     = flag.Int("trials", 0, "trials per cell (0 = experiment default)")
 		seed       = flag.Uint64("seed", 1, "root random seed")
@@ -230,6 +240,8 @@ func run() error {
 		err = faults(s)
 	case "scaling":
 		err = scaling(s)
+	case "epochs":
+		err = epochs(s)
 	case "sweeps":
 		for _, f := range []func(*session) error{table1, knowledge, faults} {
 			if err = f(s); err != nil {
@@ -425,6 +437,23 @@ func faults(s *session) error {
 			return err
 		}
 		fmt.Println(harness.RenderFaults(sec.Fault, cells))
+	}
+	return nil
+}
+
+// epochs runs the E1-E3 repeated-election scenarios: seed-chained epoch
+// histories on one persistent topology, each sweep comparing the static
+// and traffic-adaptive adversary rungs against the fault-free anchor. The
+// matrix lives in harness.EpochsPlan — a separate experiment from the
+// -exp sweeps artifact matrix, conventionally archived as
+// BENCH_epochs.json (what `make epochs-smoke` does).
+func epochs(s *session) error {
+	for _, sec := range harness.EpochsPlan(s.quick, s.trials, s.seed).Sections {
+		cells, err := s.sweep(sec.Specs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderEpochs(sec.Epoch, cells))
 	}
 	return nil
 }

@@ -2,7 +2,9 @@
 // them) as a paper-style reproduction report: Table-1-shaped measured vs
 // predicted tables per protocol×family, the Dieudonné–Pelc knowledge
 // ablation, fault-degradation ladders anchored at their fault-free
-// cells, Wilson success intervals throughout, and — given two or more
+// cells, repeated-election epoch scenario tables (amortized per-epoch
+// cost and recovery time), Wilson success intervals throughout, and —
+// given two or more
 // artifacts — per-metric trend classification (improving/flat/
 // regressing) across the series using the trajectory package's
 // variance-aware Welch gates.
@@ -20,7 +22,7 @@
 // one artifact the report has no trend section; with two or more, the
 // report describes the newest artifact and appends the trajectory
 // section (cells must be present at every series point to be classified;
-// the rest are listed as partial). v1 through v5 artifact schemas are all
+// the rest are listed as partial). v1 through v6 artifact schemas are all
 // accepted, with v1 cells classifying on the relative tolerance alone.
 //
 // -phases FILE appends a phase-breakdown table (phase | spans | total |

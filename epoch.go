@@ -1,0 +1,214 @@
+package anonlead
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"anonlead/internal/rng"
+)
+
+// EpochFault selects what ends a leader's reign between RunEpochs epochs.
+type EpochFault int
+
+const (
+	// EpochCrash crash-stops the old leader at the start of the next
+	// epoch: it is dead for every later epoch (injected as a round-0 crash
+	// schedule entry), and re-elections run among the survivors.
+	EpochCrash EpochFault = iota
+	// EpochRevoke ends the reign without killing the node: every epoch
+	// re-elects over the full network, modelling voluntary step-down.
+	EpochRevoke
+)
+
+// String names the fault mode ("crash", "revoke").
+func (f EpochFault) String() string {
+	if f == EpochRevoke {
+		return "revoke"
+	}
+	return "crash"
+}
+
+// EpochResult records one epoch of a RunEpochs scenario.
+type EpochResult struct {
+	// Epoch is the 0-based epoch index.
+	Epoch int
+	// Seed is the run seed this epoch's election used. Epoch 0 runs on
+	// the caller's seed; later epochs derive theirs from the previous
+	// epoch's outcome (see RunEpochs).
+	Seed uint64
+	// Elected reports whether this epoch elected a unique leader.
+	Elected bool
+	// Leader is the elected leader's node index (-1 when !Elected).
+	Leader int
+	// LeaderID is the elected leader's random ID (0 when !Elected).
+	LeaderID uint64
+	// Rounds is the rounds this epoch's election ran. For epochs after a
+	// leader loss this is exactly the time-to-recover.
+	Rounds int
+	// ChargedRounds, Messages and Bits are this epoch's CONGEST cost.
+	ChargedRounds int64
+	Messages      int64
+	Bits          int64
+	// Crashed is the number of crash-stopped nodes during this epoch
+	// (accumulated dead leaders plus any adversary crashes).
+	Crashed int
+}
+
+// EpochOutcome is the result of a RunEpochs scenario: the per-epoch
+// history plus the amortized totals the repeated-election literature
+// cares about.
+type EpochOutcome struct {
+	// Protocol is the canonical protocol name.
+	Protocol string
+	// Fault is the leader-removal mode the scenario ran under.
+	Fault EpochFault
+	// Epochs is the per-epoch history, in order.
+	Epochs []EpochResult
+	// Elected counts the epochs that elected a unique leader.
+	Elected int
+	// Dead lists the nodes crash-stopped as ex-leaders (EpochCrash mode),
+	// in death order.
+	Dead []int
+	// TotalRounds, TotalCharged, TotalMessages and TotalBits sum the
+	// epochs' costs.
+	TotalRounds   int
+	TotalCharged  int64
+	TotalMessages int64
+	TotalBits     int64
+	// AmortizedMessages and AmortizedRounds are the per-epoch averages —
+	// the steady-state cost of keeping a leader over time.
+	AmortizedMessages float64
+	AmortizedRounds   float64
+	// MeanRecover is the mean rounds of the successful re-elections
+	// (epochs after the first), i.e. the mean time-to-recover from a
+	// leader loss; 0 when no re-election succeeded.
+	MeanRecover float64
+}
+
+// chainEpochSeed derives the next epoch's run seed from the previous
+// epoch's: a labeled split of the old seed folded with the outcome's
+// observable identity (leader ID, rounds, surviving-leader count), the
+// BFT-MVBA idiom of deriving per-epoch leader sequences from a combined
+// seed. Pure, so whole multi-epoch histories are bit-identical across
+// schedulers and orchestrators.
+func chainEpochSeed(prev uint64, out Outcome) uint64 {
+	r := rng.New(prev).SplitString("epoch")
+	r = r.Split(out.LeaderID)
+	r = r.Split(uint64(out.Rounds))
+	return r.DeriveSeed(uint64(len(out.Leaders)))
+}
+
+// RunEpochs executes a repeated-election scenario on the network: epochs
+// of (elect → lead → leader crashes or revokes → re-elect), configured by
+// WithEpochs, WithEpochFault and WithEpochCarry on top of the ordinary
+// Run options. One persistent topology hosts the whole history; each
+// epoch is a full election whose run seed derives from the previous
+// epoch's outcome through the deterministic seed chain, so a scenario is
+// reproducible from (network, protocol, seed, options) alone and
+// bit-identical across all schedulers.
+//
+// In EpochCrash mode every elected leader is dead from the next epoch on
+// (injected as a round-0 entry of the adversary's crash schedule, merged
+// with any caller-specified adversary); with WithEpochCarry the
+// re-elections are told the surviving node count. Epochs that fail to
+// elect (ErrNotHalted/ErrNotStabilized, or a non-unique leader set) are
+// recorded as failed and the scenario continues — degradation is data,
+// not an error. Context cancellation and configuration errors abort and
+// return the partial history alongside the error.
+func (nw *Network) RunEpochs(ctx context.Context, protocol string, opts ...Option) (EpochOutcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := buildOptions(opts)
+	k := o.epochs
+	if k <= 0 {
+		k = 1
+	}
+	if o.transport != TransportSim && o.epochFault == EpochCrash {
+		return EpochOutcome{}, fmt.Errorf("anonlead: RunEpochs crash mode requires TransportSim (dead leaders are injected through the simulated adversary)")
+	}
+
+	eo := EpochOutcome{Fault: o.epochFault}
+	deadSet := make(map[int]bool)
+	seed := o.seed
+	for e := 0; e < k; e++ {
+		eopts := append(append([]Option(nil), opts...), WithSeed(seed))
+		if len(eo.Dead) > 0 {
+			var spec AdversarySpec
+			if o.adversary != nil {
+				spec = *o.adversary
+			}
+			sched := make(map[int]int, len(spec.CrashSchedule)+len(eo.Dead))
+			for v, r := range spec.CrashSchedule {
+				sched[v] = r
+			}
+			for _, v := range eo.Dead {
+				sched[v] = 0
+			}
+			spec.CrashSchedule = sched
+			eopts = append(eopts, WithAdversary(spec))
+			if o.epochCarry {
+				eopts = append(eopts, WithPresumedN(nw.N()-len(eo.Dead)))
+			}
+		}
+
+		out, err := nw.Run(ctx, protocol, eopts...)
+		eo.Protocol = out.Protocol
+		res := EpochResult{
+			Epoch:         e,
+			Seed:          seed,
+			Leader:        -1,
+			Rounds:        out.Rounds,
+			ChargedRounds: out.ChargedRounds,
+			Messages:      out.Messages,
+			Bits:          out.Bits,
+			Crashed:       out.Metrics.Crashed,
+		}
+		if err != nil && !errors.Is(err, ErrNotHalted) && !errors.Is(err, ErrNotStabilized) {
+			eo.Epochs = append(eo.Epochs, res)
+			eo.finish()
+			return eo, err
+		}
+		if err == nil && out.Unique {
+			res.Elected = true
+			res.Leader = out.Leaders[0]
+			res.LeaderID = out.LeaderID
+			eo.Elected++
+		}
+		eo.Epochs = append(eo.Epochs, res)
+		if o.epochFault == EpochCrash {
+			for _, v := range out.Leaders {
+				if !deadSet[v] {
+					deadSet[v] = true
+					eo.Dead = append(eo.Dead, v)
+				}
+			}
+		}
+		seed = chainEpochSeed(seed, out)
+	}
+	eo.finish()
+	return eo, nil
+}
+
+// finish fills the aggregate fields from the per-epoch history.
+func (eo *EpochOutcome) finish() {
+	recovered, recoverRounds := 0, 0
+	for _, r := range eo.Epochs {
+		eo.TotalRounds += r.Rounds
+		eo.TotalCharged += r.ChargedRounds
+		eo.TotalMessages += r.Messages
+		eo.TotalBits += r.Bits
+		if r.Epoch > 0 && r.Elected {
+			recovered++
+			recoverRounds += r.Rounds
+		}
+	}
+	if n := len(eo.Epochs); n > 0 {
+		eo.AmortizedMessages = float64(eo.TotalMessages) / float64(n)
+		eo.AmortizedRounds = float64(eo.TotalRounds) / float64(n)
+	}
+	if recovered > 0 {
+		eo.MeanRecover = float64(recoverRounds) / float64(recovered)
+	}
+}

@@ -1,0 +1,166 @@
+package anonlead
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// runEpochHistory executes one crash-recover epoch scenario and returns
+// its outcome plus the canonical JSON encoding of the whole history.
+func runEpochHistory(t *testing.T, opts ...Option) (EpochOutcome, []byte) {
+	t.Helper()
+	nw := mustNetwork(t, "complete", 8, 3)
+	eo, err := nw.RunEpochs(context.Background(), ProtoFloodMax,
+		append([]Option{WithSeed(42), WithEpochs(5)}, opts...)...)
+	if err != nil {
+		t.Fatalf("RunEpochs: %v", err)
+	}
+	raw, err := json.Marshal(eo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eo, raw
+}
+
+// TestEpochChainDeterminism is the PR's acceptance criterion: a 5-epoch
+// crash-recover history — five chained elections, each killing the
+// elected leader for every later epoch — must be byte-identical across
+// the Sequential, WorkerPool and Actors schedulers (orchestrator parity
+// lives in internal/harness's epoch tests).
+func TestEpochChainDeterminism(t *testing.T) {
+	base, baseRaw := runEpochHistory(t)
+
+	// The scenario must actually exercise the chain: every epoch elects,
+	// each epoch's leader is fresh (its predecessors are dead), and seeds
+	// genuinely change across epochs.
+	if base.Elected != 5 || len(base.Dead) != 5 {
+		t.Fatalf("history did not crash-recover 5 times: %+v", base)
+	}
+	seen := map[int]bool{}
+	seeds := map[uint64]bool{}
+	for _, r := range base.Epochs {
+		if !r.Elected {
+			t.Fatalf("epoch %d failed to elect: %+v", r.Epoch, r)
+		}
+		if seen[r.Leader] {
+			t.Fatalf("epoch %d re-elected dead leader %d", r.Epoch, r.Leader)
+		}
+		seen[r.Leader] = true
+		seeds[r.Seed] = true
+		if r.Epoch > 0 && r.Crashed != r.Epoch {
+			t.Fatalf("epoch %d saw %d crashes, want %d dead ex-leaders", r.Epoch, r.Crashed, r.Epoch)
+		}
+	}
+	if len(seeds) != 5 {
+		t.Fatalf("epoch seeds did not chain: %d distinct over 5 epochs", len(seeds))
+	}
+	if base.MeanRecover <= 0 {
+		t.Fatalf("no recovery time measured: %+v", base)
+	}
+
+	for _, s := range []Scheduler{WorkerPool, Actors} {
+		_, raw := runEpochHistory(t, WithScheduler(s))
+		if string(raw) != string(baseRaw) {
+			t.Errorf("scheduler %v history diverges from sequential:\n%s\nvs\n%s", s, raw, baseRaw)
+		}
+	}
+	// And the chain is reproducible outright.
+	_, again := runEpochHistory(t)
+	if string(again) != string(baseRaw) {
+		t.Error("re-running the same scenario produced a different history")
+	}
+}
+
+// TestEpochRevokeKeepsEveryoneAlive: revoke mode chains re-elections
+// without killing anyone — no dead set, no crashes, and with the seed
+// chain intact the epochs still differ.
+func TestEpochRevokeKeepsEveryoneAlive(t *testing.T) {
+	eo, _ := runEpochHistory(t, WithEpochFault(EpochRevoke))
+	if len(eo.Dead) != 0 {
+		t.Fatalf("revoke mode killed %v", eo.Dead)
+	}
+	if eo.Elected != 5 {
+		t.Fatalf("elected %d/5 epochs: %+v", eo.Elected, eo)
+	}
+	for _, r := range eo.Epochs {
+		if r.Crashed != 0 {
+			t.Fatalf("epoch %d crashed %d nodes under revoke", r.Epoch, r.Crashed)
+		}
+	}
+	if eo.Epochs[0].Seed == eo.Epochs[1].Seed {
+		t.Fatal("revoke epochs did not chain seeds")
+	}
+}
+
+// TestEpochCarryChangesReElections: with knowledge carry the re-elections
+// are told the surviving node count, so a presumed-n-sensitive protocol
+// (ire) must diverge from the carry-less baseline after the first death.
+func TestEpochCarryChangesReElections(t *testing.T) {
+	run := func(carry bool) EpochOutcome {
+		nw := mustNetwork(t, "complete", 8, 3)
+		eo, err := nw.RunEpochs(context.Background(), ProtoIRE,
+			WithSeed(9), WithEpochs(3), WithEpochCarry(carry))
+		if err != nil {
+			t.Fatalf("carry=%v: %v", carry, err)
+		}
+		return eo
+	}
+	plain, carried := run(false), run(true)
+	if plain.Epochs[0] != carried.Epochs[0] {
+		t.Fatalf("epoch 0 ran before any death; carry must not touch it:\n%+v\nvs\n%+v",
+			plain.Epochs[0], carried.Epochs[0])
+	}
+	diverged := false
+	for e := 1; e < len(plain.Epochs) && e < len(carried.Epochs); e++ {
+		if plain.Epochs[e].Messages != carried.Epochs[e].Messages ||
+			plain.Epochs[e].Rounds != carried.Epochs[e].Rounds {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("knowledge carry changed nothing about the re-elections")
+	}
+}
+
+// TestEpochFailedEpochsAreDataNotErrors: a scenario whose later epochs
+// cannot elect (everyone dead after the caller's adversary crashes the
+// survivors) still returns the full history with the failures recorded.
+func TestEpochFailedEpochsAreDataNotErrors(t *testing.T) {
+	nw := mustNetwork(t, "complete", 4, 1)
+	// Crash every node at round 0 from epoch 1 on: nobody left to elect.
+	sched := map[int]int{0: 0, 1: 0, 2: 0, 3: 0}
+	eo, err := nw.RunEpochs(context.Background(), ProtoFloodMax,
+		WithSeed(5), WithEpochs(3), WithAdversary(AdversarySpec{CrashSchedule: sched}))
+	if err != nil {
+		t.Fatalf("dead-network epochs should be recorded, not returned: %v", err)
+	}
+	if len(eo.Epochs) != 3 || eo.Elected != 0 {
+		t.Fatalf("want 3 recorded failures, got %+v", eo)
+	}
+}
+
+// TestEpochsRejectTransportCrashMode: crash-mode scenarios inject dead
+// leaders through the simulated adversary, which transports reject.
+func TestEpochsRejectTransportCrashMode(t *testing.T) {
+	nw := mustNetwork(t, "cycle", 4, 0)
+	if _, err := nw.RunEpochs(context.Background(), ProtoFloodMax,
+		WithEpochs(2), WithTransport(TransportChan)); err == nil {
+		t.Fatal("crash-mode epochs over a transport should be rejected")
+	}
+}
+
+// TestEpochContextCancellation: cancellation aborts the scenario and
+// returns the partial history alongside the error.
+func TestEpochContextCancellation(t *testing.T) {
+	nw := mustNetwork(t, "complete", 8, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eo, err := nw.RunEpochs(ctx, ProtoFloodMax, WithSeed(1), WithEpochs(5))
+	if err == nil {
+		t.Fatal("cancelled scenario returned no error")
+	}
+	if len(eo.Epochs) != 1 {
+		t.Fatalf("cancelled scenario recorded %d epochs, want the aborted first", len(eo.Epochs))
+	}
+}

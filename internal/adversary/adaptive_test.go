@@ -1,0 +1,175 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/sim"
+)
+
+// TestDecisionValueVariantsMatchHeapChain pins the alloc-free refactor:
+// decision2/decision3 must walk exactly the derivation chain the original
+// heap-allocating decision() walks, for the draws the Fate paths make.
+func TestDecisionValueVariantsMatchHeapChain(t *testing.T) {
+	cases := [][]uint64{
+		{0, 0}, {1, 2}, {7, 1 << 40}, {12345, 99},
+	}
+	for _, c := range cases {
+		seed := c[0] * 77
+		old2 := decision(seed, c[0], c[1])
+		new2 := decision2(seed, c[0], c[1])
+		for i := 0; i < 8; i++ {
+			if a, b := old2.Uint64(), new2.Uint64(); a != b {
+				t.Fatalf("decision2(%d,%v) draw %d: %d vs %d", seed, c, i, b, a)
+			}
+		}
+		old3 := decision(seed, c[0], c[1], 5)
+		new3 := decision3(seed, c[0], c[1], 5)
+		for i := 0; i < 8; i++ {
+			if a, b := old3.Uint64(), new3.Uint64(); a != b {
+				t.Fatalf("decision3(%d,%v) draw %d: %d vs %d", seed, c, i, b, a)
+			}
+		}
+	}
+}
+
+// TestAdaptiveCrashPicksBusiest: top-K by accumulated window traffic,
+// ties to the lower index, zero-traffic nodes never picked.
+func TestAdaptiveCrashPicksBusiest(t *testing.T) {
+	a := NewAdaptiveCrash(5, 2, 2, 1)
+	if got := a.ObserveTraffic(-1, []int{9, 9, 9, 9, 9}); got != nil {
+		t.Fatalf("Init round observed: %v", got)
+	}
+	if got := a.ObserveTraffic(0, []int{1, 4, 0, 4, 2}); got != nil {
+		t.Fatalf("mid-window pick: %v", got)
+	}
+	got := a.ObserveTraffic(1, []int{1, 3, 0, 4, 2})
+	// Accumulated: [2, 7, 0, 8, 4] → top-2 = {3, 1}.
+	if want := []int{3, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("picks %v, want %v", got, want)
+	}
+	// One strike spent: later windows are dormant.
+	for r := 2; r < 6; r++ {
+		if got := a.ObserveTraffic(r, []int{9, 9, 9, 9, 9}); got != nil {
+			t.Fatalf("dormant adversary picked %v at round %d", got, r)
+		}
+	}
+}
+
+// TestAdaptiveCrashTieBreaksLow: equal accumulations resolve to the lower
+// node index (strict > comparison), keeping picks deterministic.
+func TestAdaptiveCrashTieBreaksLow(t *testing.T) {
+	a := NewAdaptiveCrash(4, 1, 1, 1)
+	got := a.ObserveTraffic(0, []int{0, 5, 5, 5})
+	if want := []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("picks %v, want %v", got, want)
+	}
+}
+
+// TestAdaptiveCrashSilentWindowKeepsStrike: a window with no traffic at
+// all claims nobody and does not spend a strike.
+func TestAdaptiveCrashSilentWindowKeepsStrike(t *testing.T) {
+	a := NewAdaptiveCrash(3, 1, 1, 1)
+	if got := a.ObserveTraffic(0, []int{0, 0, 0}); got != nil {
+		t.Fatalf("silent window picked %v", got)
+	}
+	got := a.ObserveTraffic(1, []int{0, 2, 0})
+	if want := []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("picks %v, want %v (strike should have survived the silent window)", got, want)
+	}
+}
+
+// TestAdaptiveCrashMultipleStrikes: each window boundary claims its own
+// victims until the strike budget is spent.
+func TestAdaptiveCrashMultipleStrikes(t *testing.T) {
+	a := NewAdaptiveCrash(3, 1, 1, 2)
+	if got, want := a.ObserveTraffic(0, []int{5, 1, 0}), []int{0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("strike 1 picks %v, want %v", got, want)
+	}
+	if got, want := a.ObserveTraffic(1, []int{0, 1, 9}), []int{2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("strike 2 picks %v, want %v", got, want)
+	}
+	if got := a.ObserveTraffic(2, []int{0, 9, 0}); got != nil {
+		t.Fatalf("strike budget exceeded: picked %v", got)
+	}
+}
+
+// TestAdaptiveCrashIsPassiveAdversary: the primitive neither schedules
+// static crashes nor touches packets.
+func TestAdaptiveCrashIsPassiveAdversary(t *testing.T) {
+	a := NewAdaptiveCrash(4, 1, 2, 1)
+	if a.CrashRound(0) != -1 || a.MaxDelay() != 0 {
+		t.Fatal("AdaptiveCrash should have no static schedule and no delay")
+	}
+	if drop, delay := a.Fate(3, 0, 1, 2); drop || delay != 0 {
+		t.Fatal("AdaptiveCrash should never touch packets")
+	}
+}
+
+// TestComposeForwardsAdaptive: a composition containing an adaptive layer
+// is itself adaptive, fans observations out, and concatenates victims in
+// layer order; a composition of only static layers is not adaptive.
+func TestComposeForwardsAdaptive(t *testing.T) {
+	static := Compose(NewLoss(0.5, 1), NewDelay(0.5, 2, 2))
+	if _, ok := static.(sim.TrafficAdaptive); ok {
+		t.Fatal("static composition claims to be adaptive")
+	}
+
+	a1 := NewAdaptiveCrash(3, 1, 1, 1)
+	a2 := NewAdaptiveCrash(3, 1, 1, 1)
+	comp := Compose(NewLoss(0.5, 1), a1, a2)
+	ta, ok := comp.(sim.TrafficAdaptive)
+	if !ok {
+		t.Fatal("composition with adaptive layers is not adaptive")
+	}
+	got := ta.ObserveTraffic(0, []int{1, 5, 2})
+	// Both layers independently pick the busiest node.
+	if want := []int{1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("composed picks %v, want %v", got, want)
+	}
+	// Single adaptive part: Compose returns it directly, still adaptive.
+	single := Compose(NewAdaptiveCrash(3, 1, 1, 1))
+	if _, ok := single.(sim.TrafficAdaptive); !ok {
+		t.Fatal("single adaptive part lost its adaptivity through Compose")
+	}
+}
+
+// TestSpecAdaptive: the declarative spec's adaptive fields flow into
+// IsZero, Validate, Descriptor, and Build.
+func TestSpecAdaptive(t *testing.T) {
+	if (Spec{AdaptiveCrash: 1}).IsZero() {
+		t.Fatal("adaptive spec reported zero")
+	}
+	if err := (Spec{AdaptiveCrash: -1}).Validate(); err == nil {
+		t.Fatal("negative adaptive crash accepted")
+	}
+	if err := (Spec{AdaptiveWindow: 4}).Validate(); err == nil {
+		t.Fatal("adaptive window without adaptive_crash accepted")
+	}
+	if got, want := (Spec{AdaptiveCrash: 1}).Descriptor(), "adaptive=1@8"; got != want {
+		t.Fatalf("descriptor %q, want %q (defaults rendered resolved)", got, want)
+	}
+	if got, want := (Spec{AdaptiveCrash: 2, AdaptiveWindow: 4, AdaptiveStrikes: 3}).Descriptor(), "adaptive=2@4x3"; got != want {
+		t.Fatalf("descriptor %q, want %q", got, want)
+	}
+	if got, want := (Spec{Loss: 0.1, AdaptiveCrash: 1, AdaptiveWindow: 2}).Descriptor(), "loss=0.1,adaptive=1@2"; got != want {
+		t.Fatalf("descriptor %q, want %q", got, want)
+	}
+
+	g := graph.Cycle(6)
+	adv, err := Spec{AdaptiveCrash: 1, AdaptiveWindow: 2}.Build(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := adv.(sim.TrafficAdaptive); !ok {
+		t.Fatal("built adaptive spec is not TrafficAdaptive")
+	}
+	adv, err = Spec{Loss: 0.1, AdaptiveCrash: 1}.Build(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := adv.(sim.TrafficAdaptive); !ok {
+		t.Fatal("composed adaptive spec is not TrafficAdaptive")
+	}
+}

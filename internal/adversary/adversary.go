@@ -49,6 +49,25 @@ func decision(seed uint64, labels ...uint64) *rng.RNG {
 	return r
 }
 
+// decision2 and decision3 are allocation-free variants of decision for the
+// fixed label counts used on the per-packet hot path: a value RNG reseeded
+// in place walks the identical derivation chain (Reseed(seed) produces
+// exactly New(seed)'s stream), so fates stay byte-identical to the
+// heap-chained form while the routing path stays at 0 allocs/round.
+func decision2(seed, a, b uint64) rng.RNG {
+	var r rng.RNG
+	r.Reseed(seed)
+	r.Reseed(r.DeriveSeed(a))
+	r.Reseed(r.DeriveSeed(b))
+	return r
+}
+
+func decision3(seed, a, b, c uint64) rng.RNG {
+	r := decision2(seed, a, b)
+	r.Reseed(r.DeriveSeed(c))
+	return r
+}
+
 // edgeKey canonicalizes a directed (from, to) pair to its undirected edge
 // label, so both directions of a link share one decision stream.
 func edgeKey(from, to int) uint64 {
@@ -116,7 +135,8 @@ func (l *Loss) MaxDelay() int { return 0 }
 func (l *Loss) Fate(round, from, port, _ int) (bool, int) {
 	key := dirKey(from, port)
 	k := l.seq.next(round, key)
-	return decision(l.seed, uint64(int64(round)), key, k).Bernoulli(l.P), 0
+	r := decision3(l.seed, uint64(int64(round)), key, k)
+	return r.Bernoulli(l.P), 0
 }
 
 // Crash crash-stops nodes according to a per-node schedule.
@@ -252,7 +272,8 @@ func (c *Churn) Fate(round, from, _, to int) (bool, int) {
 	}
 	d, ok := c.down[key]
 	if !ok {
-		d = decision(c.seed, uint64(int64(round)), key).Bernoulli(c.P)
+		r := decision2(c.seed, uint64(int64(round)), key)
+		d = r.Bernoulli(c.P)
 		c.down[key] = d
 	}
 	return d, 0
@@ -294,7 +315,7 @@ func (d *Delay) Fate(round, from, port, _ int) (bool, int) {
 	}
 	key := dirKey(from, port)
 	k := d.seq.next(round, key)
-	r := decision(d.seed, uint64(int64(round)), key, k)
+	r := decision3(d.seed, uint64(int64(round)), key, k)
 	if !r.Bernoulli(d.P) {
 		return false, 0
 	}
@@ -309,9 +330,13 @@ type composite struct {
 }
 
 // Compose stacks several adversaries into one. Nil parts are skipped; an
-// empty composition returns nil (no adversary).
+// empty composition returns nil (no adversary). If any part is
+// traffic-adaptive (sim.TrafficAdaptive), the composition is too:
+// observations fan out to every adaptive layer and their victim lists
+// concatenate in layer order.
 func Compose(parts ...sim.Adversary) sim.Adversary {
 	kept := make([]sim.Adversary, 0, len(parts))
+	var adaptive []sim.TrafficAdaptive
 	maxDelay := 0
 	for _, p := range parts {
 		if p == nil {
@@ -319,6 +344,9 @@ func Compose(parts ...sim.Adversary) sim.Adversary {
 		}
 		kept = append(kept, p)
 		maxDelay += p.MaxDelay() // delays add, so bounds add
+		if ta, ok := p.(sim.TrafficAdaptive); ok {
+			adaptive = append(adaptive, ta)
+		}
 	}
 	switch len(kept) {
 	case 0:
@@ -326,7 +354,11 @@ func Compose(parts ...sim.Adversary) sim.Adversary {
 	case 1:
 		return kept[0]
 	}
-	return &composite{parts: kept, maxDelay: maxDelay}
+	base := composite{parts: kept, maxDelay: maxDelay}
+	if len(adaptive) > 0 {
+		return &adaptiveComposite{composite: base, adaptive: adaptive}
+	}
+	return &base
 }
 
 // CrashRound implements sim.Adversary (earliest layer wins).

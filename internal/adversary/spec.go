@@ -38,13 +38,42 @@ type Spec struct {
 	DelayProb float64 `json:"delay_prob,omitempty"`
 	// MaxDelay bounds the lateness (uniform 1..MaxDelay extra rounds).
 	MaxDelay int `json:"max_delay,omitempty"`
+
+	// AdaptiveCrash enables the traffic-adaptive crash adversary: every
+	// window the AdaptiveCrash busiest nodes of that window crash-stop
+	// (targeting the emerging leader). 0 disables.
+	AdaptiveCrash int `json:"adaptive_crash,omitempty"`
+	// AdaptiveWindow is the observation window in rounds (0 = default 8).
+	AdaptiveWindow int `json:"adaptive_window,omitempty"`
+	// AdaptiveStrikes bounds how many windows claim victims (0 = default 1).
+	AdaptiveStrikes int `json:"adaptive_strikes,omitempty"`
+}
+
+// Adaptive-adversary defaults applied when the fields are left zero with
+// AdaptiveCrash > 0.
+const (
+	DefaultAdaptiveWindow  = 8
+	DefaultAdaptiveStrikes = 1
+)
+
+// adaptiveParams resolves the zero-value defaults.
+func (s Spec) adaptiveParams() (window, strikes int) {
+	window, strikes = s.AdaptiveWindow, s.AdaptiveStrikes
+	if window <= 0 {
+		window = DefaultAdaptiveWindow
+	}
+	if strikes <= 0 {
+		strikes = DefaultAdaptiveStrikes
+	}
+	return window, strikes
 }
 
 // IsZero reports whether the spec configures no perturbation at all. Rates
 // of exactly zero disable their primitive, so e.g. Spec{Loss: 0} is zero.
 func (s Spec) IsZero() bool {
 	return s.Loss == 0 && s.CrashFraction == 0 && len(s.CrashSchedule) == 0 &&
-		s.Churn == 0 && (s.DelayProb == 0 || s.MaxDelay == 0)
+		s.Churn == 0 && (s.DelayProb == 0 || s.MaxDelay == 0) &&
+		s.AdaptiveCrash == 0
 }
 
 // Validate rejects out-of-range parameters.
@@ -77,6 +106,18 @@ func (s Spec) Validate() error {
 		if v < 0 || r < 0 {
 			return fmt.Errorf("adversary: invalid crash schedule entry node %d round %d", v, r)
 		}
+	}
+	if s.AdaptiveCrash < 0 {
+		return fmt.Errorf("adversary: negative adaptive crash count %d", s.AdaptiveCrash)
+	}
+	if s.AdaptiveWindow < 0 {
+		return fmt.Errorf("adversary: negative adaptive window %d", s.AdaptiveWindow)
+	}
+	if s.AdaptiveStrikes < 0 {
+		return fmt.Errorf("adversary: negative adaptive strikes %d", s.AdaptiveStrikes)
+	}
+	if s.AdaptiveCrash == 0 && (s.AdaptiveWindow != 0 || s.AdaptiveStrikes != 0) {
+		return fmt.Errorf("adversary: adaptive window/strikes set without adaptive_crash")
 	}
 	return nil
 }
@@ -121,6 +162,14 @@ func (s Spec) Descriptor() string {
 	if s.DelayProb > 0 && s.MaxDelay > 0 {
 		parts = append(parts, fmt.Sprintf("delay=%sx%d", fnum(s.DelayProb), s.MaxDelay))
 	}
+	if s.AdaptiveCrash > 0 {
+		window, strikes := s.adaptiveParams()
+		a := fmt.Sprintf("adaptive=%d@%d", s.AdaptiveCrash, window)
+		if strikes > 1 {
+			a += fmt.Sprintf("x%d", strikes)
+		}
+		parts = append(parts, a)
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -156,6 +205,10 @@ func (s Spec) Build(g *graph.Graph, seed uint64) (sim.Adversary, error) {
 	}
 	if s.DelayProb > 0 && s.MaxDelay > 0 {
 		parts = append(parts, NewDelay(s.DelayProb, s.MaxDelay, sub("delay")))
+	}
+	if s.AdaptiveCrash > 0 {
+		window, strikes := s.adaptiveParams()
+		parts = append(parts, NewAdaptiveCrash(n, s.AdaptiveCrash, window, strikes))
 	}
 	return Compose(parts...), nil
 }

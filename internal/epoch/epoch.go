@@ -1,0 +1,178 @@
+// Package epoch is the repeated-election scenario layer over
+// anonlead.RunEpochs: a declarative Opts the sweep planner can persist,
+// plus the per-cell statistics the bench artifacts record (schema v6).
+//
+// The engine itself — seed chaining, dead-leader injection, knowledge
+// carry — lives in the root package next to Run; this package names
+// scenarios canonically (cell identity) and folds per-trial epoch
+// histories into artifact-ready aggregates.
+package epoch
+
+import (
+	"fmt"
+	"strings"
+
+	"anonlead"
+)
+
+// Opts declares a repeated-election scenario: how many chained epochs,
+// how the leader is removed between them, and whether knowledge carries.
+// The zero value means "no scenario" (plain single elections).
+type Opts struct {
+	// Epochs is the number of chained elections per trial.
+	Epochs int `json:"epochs"`
+	// Revoke selects leader step-down instead of the default crash-stop.
+	Revoke bool `json:"revoke,omitempty"`
+	// Carry tells re-elections the surviving node count (knowledge carry).
+	Carry bool `json:"carry,omitempty"`
+}
+
+// IsZero reports whether no scenario is configured.
+func (o Opts) IsZero() bool { return o == Opts{} }
+
+// Validate rejects nonsensical scenarios.
+func (o Opts) Validate() error {
+	if o.Epochs < 1 {
+		return fmt.Errorf("epoch: scenario needs at least 1 epoch, got %d", o.Epochs)
+	}
+	if o.Revoke && o.Carry {
+		return fmt.Errorf("epoch: carry has no effect under revoke (nobody dies)")
+	}
+	return nil
+}
+
+// Descriptor canonically names the scenario, e.g. "epochs=5,fault=crash"
+// or "epochs=3,fault=crash,carry". Like the adversary descriptor it is
+// cell-identity material: artifact cells persist it and trajectory
+// alignment keys on it. A zero Opts yields "".
+func (o Opts) Descriptor() string {
+	if o.IsZero() {
+		return ""
+	}
+	fault := anonlead.EpochCrash
+	if o.Revoke {
+		fault = anonlead.EpochRevoke
+	}
+	parts := []string{
+		fmt.Sprintf("epochs=%d", o.Epochs),
+		"fault=" + fault.String(),
+	}
+	if o.Carry {
+		parts = append(parts, "carry")
+	}
+	return strings.Join(parts, ",")
+}
+
+// Options maps the scenario onto the public epoch options for RunEpochs.
+func (o Opts) Options() []anonlead.Option {
+	fault := anonlead.EpochCrash
+	if o.Revoke {
+		fault = anonlead.EpochRevoke
+	}
+	return []anonlead.Option{
+		anonlead.WithEpochs(o.Epochs),
+		anonlead.WithEpochFault(fault),
+		anonlead.WithEpochCarry(o.Carry),
+	}
+}
+
+// Run executes the scenario on nw: base options (seed, scheduler,
+// adversary, protocol config) plus the scenario's epoch options.
+func Run(nw *anonlead.Network, protocol string, base []anonlead.Option, o Opts) (anonlead.EpochOutcome, error) {
+	if err := o.Validate(); err != nil {
+		return anonlead.EpochOutcome{}, err
+	}
+	opts := append(append([]anonlead.Option(nil), base...), o.Options()...)
+	return nw.RunEpochs(nil, protocol, opts...)
+}
+
+// CellStats is the per-cell epoch aggregate a bench artifact records
+// (schema v6): amortized per-epoch costs, recovery time, and the
+// per-epoch-index profiles that show whether later epochs get cheaper.
+type CellStats struct {
+	// Epochs, Fault and Carry restate the scenario (cell identity data,
+	// also rendered into the cell's Scenario descriptor).
+	Epochs int    `json:"epochs"`
+	Fault  string `json:"fault"`
+	Carry  bool   `json:"carry,omitempty"`
+	// Trials is the number of scenario histories aggregated.
+	Trials int `json:"trials"`
+	// ElectedRate is the fraction of epochs (over all trials) that
+	// elected a unique leader.
+	ElectedRate float64 `json:"elected_rate"`
+	// AmortizedMessages and AmortizedRounds are the mean per-epoch costs
+	// over all trials.
+	AmortizedMessages float64 `json:"amortized_messages"`
+	AmortizedRounds   float64 `json:"amortized_rounds"`
+	// MeanRecover is the mean time-to-recover (rounds of successful
+	// re-elections) over trials that recovered at least once.
+	MeanRecover float64 `json:"mean_recover"`
+	// PerEpochMessages, PerEpochRounds and PerEpochElected profile cost
+	// and success by epoch index, averaged (summed for Elected) over
+	// trials — the carried-knowledge claim is visible as a downward trend.
+	PerEpochMessages []float64 `json:"per_epoch_messages"`
+	PerEpochRounds   []float64 `json:"per_epoch_rounds"`
+	PerEpochElected  []int     `json:"per_epoch_elected"`
+}
+
+// Reduce folds per-trial epoch histories into the cell aggregate, in
+// trial order (deterministic regardless of how the trials were
+// scheduled). Histories shorter than o.Epochs (aborted runs) contribute
+// to the epochs they ran.
+func Reduce(o Opts, hists []anonlead.EpochOutcome) CellStats {
+	fault := anonlead.EpochCrash
+	if o.Revoke {
+		fault = anonlead.EpochRevoke
+	}
+	cs := CellStats{
+		Epochs: o.Epochs,
+		Fault:  fault.String(),
+		Carry:  o.Carry,
+		Trials: len(hists),
+	}
+	if o.Epochs > 0 {
+		cs.PerEpochMessages = make([]float64, o.Epochs)
+		cs.PerEpochRounds = make([]float64, o.Epochs)
+		cs.PerEpochElected = make([]int, o.Epochs)
+	}
+	epochs, elected := 0, 0
+	var messages, rounds int64
+	recovered := 0
+	var recoverSum float64
+	for _, h := range hists {
+		for _, r := range h.Epochs {
+			epochs++
+			messages += r.Messages
+			rounds += int64(r.Rounds)
+			if r.Elected {
+				elected++
+			}
+			if r.Epoch < len(cs.PerEpochMessages) {
+				cs.PerEpochMessages[r.Epoch] += float64(r.Messages)
+				cs.PerEpochRounds[r.Epoch] += float64(r.Rounds)
+				if r.Elected {
+					cs.PerEpochElected[r.Epoch]++
+				}
+			}
+		}
+		if h.MeanRecover > 0 {
+			recovered++
+			recoverSum += h.MeanRecover
+		}
+	}
+	if epochs > 0 {
+		cs.ElectedRate = float64(elected) / float64(epochs)
+	}
+	if n := len(hists); n > 0 {
+		cs.AmortizedMessages = float64(messages) / float64(n*o.Epochs)
+		cs.AmortizedRounds = float64(rounds) / float64(n*o.Epochs)
+		for e := range cs.PerEpochMessages {
+			cs.PerEpochMessages[e] /= float64(n)
+			cs.PerEpochRounds[e] /= float64(n)
+		}
+	}
+	if recovered > 0 {
+		cs.MeanRecover = recoverSum / float64(recovered)
+	}
+	return cs
+}

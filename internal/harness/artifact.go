@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"anonlead/internal/epoch"
 	"anonlead/internal/obs"
 	"anonlead/internal/spectral"
 	"anonlead/internal/stats"
@@ -14,13 +15,18 @@ import (
 // ArtifactSchema identifies the BENCH_harness.json format version. Bump it
 // when the cell layout changes so trajectory tooling can tell formats apart.
 //
-// v5 keeps every v4 field and adds the optional per-cell round_profile
-// section: the deterministic round-resolved message/halt histograms the
-// telemetry subsystem (internal/obs) collects when a sweep opts in via
-// TrialOpts.RoundProfile. The section is omitted on unprofiled cells, so
-// a sweep run without round profiling serializes byte-identically to v4
-// apart from the schema string.
-const ArtifactSchema = "anonlead/bench-harness/v5"
+// v6 keeps every v5 field and adds the optional per-cell epoch scenario
+// identity and aggregates: the scenario descriptor ("epochs=5,fault=crash")
+// joins the cell's trajectory identity, and an epochs object carries the
+// amortized per-epoch stats of a repeated-election sweep. Both are omitted
+// on classic single-election cells, so a sweep without epoch scenarios
+// serializes byte-identically to v5 apart from the schema string.
+const ArtifactSchema = "anonlead/bench-harness/v6"
+
+// ArtifactSchemaV5 is the previous format: v4 plus the optional per-cell
+// round_profile histograms. Still readable; its cells simply carry no
+// epoch scenarios.
+const ArtifactSchemaV5 = "anonlead/bench-harness/v5"
 
 // ArtifactSchemaV4 is the previous format: v3 plus the resolved profile
 // regime in each cell's identity ("estimate" for the streaming
@@ -101,6 +107,10 @@ type ArtifactCell struct {
 	// "" (omitted) for the legacy exact regime. Part of the cell's
 	// identity for trajectory alignment. Schema v4.
 	ProfileMode string `json:"profile_mode,omitempty"`
+	// Scenario is the epoch scenario descriptor of a repeated-election
+	// cell (epoch.Opts.Descriptor; "" = classic single-election cell).
+	// Part of the cell's identity for trajectory alignment. Schema v6.
+	Scenario string `json:"scenario,omitempty"`
 
 	Trials       int     `json:"trials"`
 	Successes    int     `json:"successes"`
@@ -131,6 +141,11 @@ type ArtifactCell struct {
 	// trial-index order (schema v5; present only when the sweep ran with
 	// round profiling enabled).
 	RoundProfile *obs.RoundProfile `json:"round_profile,omitempty"`
+
+	// Epochs carries the repeated-election aggregates of an epoch scenario
+	// cell — amortized per-epoch cost, recovery time, per-epoch profiles
+	// (schema v6; present only on scenario cells).
+	Epochs *epoch.CellStats `json:"epochs,omitempty"`
 
 	PredictedMsgs float64 `json:"predicted_msgs"`
 	PredictedTime float64 `json:"predicted_time"`
@@ -215,6 +230,7 @@ func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Du
 			RoundsDist:   newArtifactDist(c.RoundsDist),
 			ChargedDist:  newArtifactDist(c.ChargedDist),
 			RoundProfile: c.RoundProf.Clone(),
+			Epochs:       c.EpochStats,
 		}
 		ac.SuccessLo, ac.SuccessHi = stats.Wilson(c.Successes, c.Trials)
 		if prof != nil {
@@ -232,6 +248,9 @@ func NewArtifact(o Orchestrator, specs []CellSpec, cells []Cell, elapsed time.Du
 			ac.PresumedN = specs[i].Opts.PresumedN
 			if adv := specs[i].Opts.Adversary; adv != nil {
 				ac.Adversary = adv.Descriptor() // "" for a zero-rate spec
+			}
+			if eo := specs[i].Opts.Epochs; eo != nil {
+				ac.Scenario = eo.Descriptor()
 			}
 		}
 		totalTrials += c.Trials
@@ -273,22 +292,22 @@ func (a Artifact) WriteFile(path string) error {
 	return nil
 }
 
-// ReadArtifact decodes a bench artifact, accepting the current v5 schema
-// plus the legacy v4 (no round profiles), v3 (no profile regimes), v2 (no
-// adversary cell identity) and v1 (means only). Unknown schemas are
-// rejected so trajectory tooling fails loudly on foreign files rather
-// than comparing garbage.
+// ReadArtifact decodes a bench artifact, accepting the current v6 schema
+// plus the legacy v5 (no epoch scenarios), v4 (no round profiles), v3 (no
+// profile regimes), v2 (no adversary cell identity) and v1 (means only).
+// Unknown schemas are rejected so trajectory tooling fails loudly on
+// foreign files rather than comparing garbage.
 func ReadArtifact(buf []byte) (Artifact, error) {
 	var a Artifact
 	if err := json.Unmarshal(buf, &a); err != nil {
 		return Artifact{}, fmt.Errorf("harness: decode artifact: %w", err)
 	}
 	switch a.Schema {
-	case ArtifactSchema, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
+	case ArtifactSchema, ArtifactSchemaV5, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1:
 		return a, nil
 	default:
-		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s, %s, %s, %s, or %s)",
-			a.Schema, ArtifactSchema, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
+		return Artifact{}, fmt.Errorf("harness: unknown artifact schema %q (want %s, %s, %s, %s, %s, or %s)",
+			a.Schema, ArtifactSchema, ArtifactSchemaV5, ArtifactSchemaV4, ArtifactSchemaV3, ArtifactSchemaV2, ArtifactSchemaV1)
 	}
 }
 

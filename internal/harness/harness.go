@@ -18,6 +18,7 @@ import (
 	"anonlead/internal/adversary"
 	"anonlead/internal/baseline"
 	"anonlead/internal/core"
+	"anonlead/internal/epoch"
 	"anonlead/internal/graph"
 	"anonlead/internal/obs"
 	"anonlead/internal/rng"
@@ -70,6 +71,11 @@ type Trial struct {
 	// RoundProf is the trial's deterministic round-resolved histogram,
 	// present only when TrialOpts.RoundProfile asked for one.
 	RoundProf *obs.RoundProfile
+	// EpochHist is the trial's full repeated-election history, present only
+	// when TrialOpts.Epochs made the trial an epoch scenario. The flat
+	// fields above then hold the scenario totals (Rounds/Metrics summed over
+	// epochs; Success = every epoch elected).
+	EpochHist *anonlead.EpochOutcome
 }
 
 // SimOpts carries the execution knobs every trial runner threads into the
@@ -138,6 +144,10 @@ func publicAdversary(s adversary.Spec) anonlead.AdversarySpec {
 		ChurnPreserve: s.ChurnPreserve,
 		DelayProb:     s.DelayProb,
 		MaxDelay:      s.MaxDelay,
+
+		AdaptiveCrash:   s.AdaptiveCrash,
+		AdaptiveWindow:  s.AdaptiveWindow,
+		AdaptiveStrikes: s.AdaptiveStrikes,
 	}
 }
 
@@ -201,6 +211,12 @@ type TrialOpts struct {
 	// an unprofiled sweep serializes byte-identically to one that never
 	// heard of round profiles.
 	RoundProfile bool
+	// Epochs, when non-nil, turns every trial into a repeated-election
+	// epoch scenario (anonlead.RunEpochs): the trial's flat metrics become
+	// scenario totals and the cell additionally aggregates per-epoch stats
+	// (schema-v6 artifact epochs section). Nil keeps the classic
+	// single-election trial byte-identical to earlier schemas.
+	Epochs *epoch.Opts
 }
 
 // Cell is the aggregated result of a trial batch on one workload.
@@ -233,6 +249,10 @@ type Cell struct {
 	// RoundProf is the elementwise sum of the trials' round histograms,
 	// merged in trial-index order (nil unless TrialOpts.RoundProfile).
 	RoundProf *obs.RoundProfile
+	// EpochStats aggregates the trials' repeated-election histories in
+	// trial-index order (nil unless TrialOpts.Epochs made this an epoch
+	// scenario cell).
+	EpochStats *epoch.CellStats
 }
 
 // SuccessRate returns the fraction of trials electing exactly one leader.
@@ -295,9 +315,11 @@ func cellLabel(w Workload) string {
 
 // reduceCell aggregates a batch of trials, always in slice (= trial index)
 // order, so sequential and sharded executions produce identical cells down
-// to floating-point summation order.
-func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) Cell {
+// to floating-point summation order. eo, when non-nil, is the epoch
+// scenario the trials ran; their histories fold into Cell.EpochStats.
+func reduceCell(p Protocol, w Workload, prof *spectral.Profile, eo *epoch.Opts, trials []Trial) Cell {
 	cell := Cell{Protocol: p, Workload: w, Profile: prof}
+	var hists []anonlead.EpochOutcome
 	msgs := make([]float64, 0, len(trials))
 	bits := make([]float64, 0, len(trials))
 	rounds := make([]float64, 0, len(trials))
@@ -321,6 +343,9 @@ func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) 
 			}
 			cell.RoundProf.Merge(trial.RoundProf)
 		}
+		if trial.EpochHist != nil {
+			hists = append(hists, *trial.EpochHist)
+		}
 		msgs = append(msgs, float64(trial.Metrics.Messages))
 		bits = append(bits, float64(trial.Metrics.Bits))
 		rounds = append(rounds, float64(trial.Rounds))
@@ -338,6 +363,10 @@ func reduceCell(p Protocol, w Workload, prof *spectral.Profile, trials []Trial) 
 	cell.Bits = cell.BitsDist.Mean
 	cell.Rounds = cell.RoundsDist.Mean
 	cell.Charged = cell.ChargedDist.Mean
+	if eo != nil && len(hists) > 0 {
+		cs := epoch.Reduce(*eo, hists)
+		cell.EpochStats = &cs
+	}
 	return cell
 }
 
@@ -363,7 +392,7 @@ func RunCell(p Protocol, w Workload, opts TrialOpts) (Cell, error) {
 	endTrials()
 	endReduce := obs.Span("reduce", cellLabel(w))
 	defer endReduce()
-	return reduceCell(p, w, prof, trials), nil
+	return reduceCell(p, w, prof, opts.Epochs, trials), nil
 }
 
 // cellTrials returns the effective trial count of a batch (minimum 1).
@@ -416,6 +445,13 @@ func runOne(p Protocol, anw *anonlead.Network, prof *spectral.Profile, opts Tria
 	default:
 		return Trial{}, fmt.Errorf("harness: unknown protocol %q", p)
 	}
+	if opts.Epochs != nil {
+		trial, err := runEpochTrial(anw, string(p), pc, seed, simo, *opts.Epochs)
+		if err == nil {
+			trial.RoundProf = rp
+		}
+		return trial, err
+	}
 	trial, err := runTrial(anw, string(p), pc, seed, simo)
 	if err == nil {
 		// Both real completions and measured fault non-convergence carry
@@ -423,6 +459,37 @@ func runOne(p Protocol, anw *anonlead.Network, prof *spectral.Profile, opts Tria
 		trial.RoundProf = rp
 	}
 	return trial, err
+}
+
+// runEpochTrial executes one repeated-election scenario through the public
+// RunEpochs path and folds the history into a harness Trial: the flat
+// fields carry the scenario totals (so classic cell aggregation still
+// means something), and the full history rides along for epoch.Reduce.
+func runEpochTrial(anw *anonlead.Network, proto string, pc core.ProtoConfig, seed uint64, o SimOpts, eo epoch.Opts) (Trial, error) {
+	base := append(o.options(seed), anonlead.WithProtoConfig(pc))
+	hist, err := epoch.Run(anw, proto, base, eo)
+	if err != nil {
+		return Trial{}, fmt.Errorf("harness: %w", err)
+	}
+	trial := Trial{
+		Success: hist.Elected == len(hist.Epochs),
+		Rounds:  hist.TotalRounds,
+		Metrics: sim.Metrics{
+			Rounds:        hist.TotalRounds,
+			ChargedRounds: hist.TotalCharged,
+			Messages:      hist.TotalMessages,
+			Bits:          hist.TotalBits,
+		},
+		EpochHist: &hist,
+	}
+	if n := len(hist.Epochs); n > 0 {
+		last := hist.Epochs[n-1]
+		trial.Crashed = last.Crashed
+		if last.Elected {
+			trial.Leaders = 1
+		}
+	}
+	return trial, nil
 }
 
 // roundProfileObserver adapts the public per-round observer feed — which

@@ -150,7 +150,7 @@ func (o Orchestrator) RunSweep(specs []CellSpec) ([]Cell, error) {
 		endTrials()
 		if run.remaining.Add(-1) == 0 {
 			endReduce := obs.Span("reduce", cellLabel(spec.Workload))
-			cell := reduceCell(spec.Protocol, spec.Workload, run.prof, run.trials)
+			cell := reduceCell(spec.Protocol, spec.Workload, run.prof, spec.Opts.Epochs, run.trials)
 			endReduce()
 			cells[sh.cell] = cell
 			if obs.Enabled() {

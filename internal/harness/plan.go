@@ -25,12 +25,15 @@ import (
 // SectionKind names the renderer a plan section belongs to.
 type SectionKind string
 
-// The plan section kinds, in the order SweepsPlan emits them.
+// The plan section kinds, in the order SweepsPlan emits them. SectionEpochs
+// belongs to the separate epochs experiment (EpochsPlan, `lebench -exp
+// epochs`) and never appears in SweepsPlan's matrix.
 const (
 	SectionTable1    SectionKind = "table1"
 	SectionRevocable SectionKind = "revocable"
 	SectionKnowledge SectionKind = "knowledge"
 	SectionFaults    SectionKind = "faults"
+	SectionEpochs    SectionKind = "epochs"
 )
 
 // PlanSection is one contiguous run of cells sharing a renderer: a Table-1
@@ -47,6 +50,9 @@ type PlanSection struct {
 	// Fault is the generating sweep of a faults section (the renderer
 	// needs the adversary descriptors and the ladder title).
 	Fault FaultSweep
+	// Epoch is the generating sweep of an epochs section (the renderer
+	// needs the scenario and the adversary ladder).
+	Epoch EpochSweep
 	// Specs are the section's cells in execution (= artifact) order.
 	Specs []CellSpec
 }

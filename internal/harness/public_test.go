@@ -20,6 +20,7 @@ func TestMirrorRoundTrips(t *testing.T) {
 		CrashSchedule: map[int]int{3: 7},
 		Churn:         0.05, ChurnPreserve: true,
 		DelayProb: 0.5, MaxDelay: 3,
+		AdaptiveCrash: 2, AdaptiveWindow: 4, AdaptiveStrikes: 3,
 	}
 	sv := reflect.ValueOf(spec)
 	for i := 0; i < sv.NumField(); i++ {

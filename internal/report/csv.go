@@ -66,6 +66,13 @@ func (r Report) CSV() (string, error) {
 			}
 		}
 	}
+	for _, et := range r.Epochs {
+		for _, row := range et.Rows {
+			if err := emit("epochs", row); err != nil {
+				return "", err
+			}
+		}
+	}
 	w.Flush()
 	return buf.String(), w.Error()
 }

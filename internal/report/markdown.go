@@ -42,8 +42,48 @@ func (r Report) Markdown() string {
 			b.WriteString(r.faultMarkdown(ft))
 		}
 	}
+	if len(r.Epochs) > 0 {
+		b.WriteString("## Repeated elections — epoch scenarios\n\n")
+		b.WriteString("Each sweep chains epochs of elect → lead → leader crashes or revokes →\n" +
+			"re-elect on one persistent topology; rows escalate the adversary (static\n" +
+			"schedule vs traffic-adaptive targeting of the busiest node). `amsgs`/`arounds`\n" +
+			"are amortized per-epoch costs, `recover` the mean re-election rounds; `×`\n" +
+			"columns compare scenario totals against the fault-free anchor row.\n\n")
+		for _, et := range r.Epochs {
+			b.WriteString(r.epochMarkdown(et))
+		}
+	}
 	if r.Trends != nil {
 		b.WriteString(r.trendsMarkdown())
+	}
+	return b.String()
+}
+
+// epochMarkdown renders one repeated-election sweep.
+func (r Report) epochMarkdown(et EpochTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### `%s` on %s, n = %d — `%s`\n\n", et.Protocol, et.Family, et.N, et.Scenario)
+	b.WriteString("| adversary | elected | amsgs | arounds | recover | messages | ×msgs | success | 95% CI |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, row := range et.Rows {
+		c := row.Cell
+		desc := c.Adversary
+		if desc == "" {
+			desc = "none"
+		}
+		elected, amsgs, arounds, recover := "-", "-", "-", "-"
+		if es := c.Epochs; es != nil {
+			elected = fmt.Sprintf("%.2f", es.ElectedRate)
+			amsgs, arounds = num(es.AmortizedMessages), num(es.AmortizedRounds)
+			recover = num(es.MeanRecover)
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s | %s | %d/%d | %s |\n",
+			desc, elected, amsgs, arounds, recover,
+			num(c.Messages), ratio(row.XMsgs), c.Successes, c.Trials, wilson(row))
+	}
+	b.WriteString("\n")
+	if !et.HasAnchor {
+		b.WriteString("> no fault-free anchor cell in this sweep; `×` columns unavailable.\n\n")
 	}
 	return b.String()
 }

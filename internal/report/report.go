@@ -123,6 +123,20 @@ type FaultTable struct {
 	HasAnchor bool
 }
 
+// EpochTable is one repeated-election sweep: a fixed protocol×workload
+// running one epoch scenario over an adversary ladder, anchored at the
+// fault-free cell. Cell metrics are scenario totals; the epochs object
+// carries the amortized per-epoch stats.
+type EpochTable struct {
+	Protocol, Family string
+	N                int
+	// Scenario is the epoch descriptor shared by every row
+	// ("epochs=5,fault=crash").
+	Scenario  string
+	Rows      []Row // Rows[0] is the fault-free anchor when HasAnchor
+	HasAnchor bool
+}
+
 // Report is the structured reproduction report one artifact (or series)
 // renders to.
 type Report struct {
@@ -134,6 +148,7 @@ type Report struct {
 	Families  []FamilyTable
 	Knowledge []KnowledgeTable
 	Faults    []FaultTable
+	Epochs    []EpochTable
 
 	// Trends is the series trend classification (nil in single-artifact
 	// mode).
@@ -172,12 +187,13 @@ func identityOf(c harness.ArtifactCell) cellIdentity {
 	return cellIdentity{Protocol: c.Protocol, Family: c.Family, N: c.N, PresumedN: c.PresumedN}
 }
 
-// trajKeyOf is the cell's trajectory alignment key (the adversary- and
-// profile-regime-aware identity duplicate occurrences are counted under).
+// trajKeyOf is the cell's trajectory alignment key (the adversary-,
+// profile-regime- and scenario-aware identity duplicate occurrences are
+// counted under).
 func trajKeyOf(c harness.ArtifactCell) trajectory.Key {
 	return trajectory.Key{Protocol: c.Protocol, Family: c.Family, N: c.N,
 		PresumedN: c.PresumedN, Adversary: c.Adversary,
-		ProfileMode: c.ProfileMode}
+		ProfileMode: c.ProfileMode, Scenario: c.Scenario}
 }
 
 // section reconstructs the sweep structure from the flat cell list, in
@@ -205,6 +221,30 @@ func (r *Report) section(cells []harness.ArtifactCell) {
 	for i := 0; i < len(cells); {
 		c := cells[i]
 		id := identityOf(c)
+
+		// An epoch scenario sweep: consecutive cells sharing identity and
+		// scenario descriptor, anchored at the fault-free rung. Checked
+		// before the fault-ladder branch — scenario cells carry adversary
+		// descriptors too, but belong to the repeated-election section.
+		if c.Scenario != "" {
+			et := EpochTable{Protocol: id.Protocol, Family: id.Family, N: id.N, Scenario: c.Scenario}
+			var anchor *harness.ArtifactCell
+			if c.Adversary == "" {
+				anchor = &cells[i]
+				et.HasAnchor = true
+			}
+			for i < len(cells) && cells[i].Scenario == c.Scenario && identityOf(cells[i]) == id &&
+				(len(et.Rows) == 0 || cells[i].Adversary != "") {
+				row := mkRow(cells[i])
+				if &cells[i] != anchor {
+					row.anchorRatios(anchor)
+				}
+				et.Rows = append(et.Rows, row)
+				i++
+			}
+			r.Epochs = append(r.Epochs, et)
+			continue
+		}
 
 		// A fault ladder: [anchor?] faulted+ with one identity.
 		isLadderStart := c.Adversary != "" ||

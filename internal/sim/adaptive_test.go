@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"anonlead/internal/graph"
+	"anonlead/internal/rng"
+)
+
+// testAdaptive is a traffic-adaptive test adversary: it records every
+// observation and, from fireRound on, names the busiest node of each
+// round (ties to the lower index, zero traffic never picked).
+type testAdaptive struct {
+	testAdv
+	fireRound int
+	fired     bool    // single strike: first qualifying round only
+	observed  [][]int // copy of sent per observed round, keyed by round+1
+	picks     []int
+}
+
+func (a *testAdaptive) ObserveTraffic(round int, sent []int) []int {
+	for len(a.observed) <= round+1 {
+		a.observed = append(a.observed, nil)
+	}
+	a.observed[round+1] = append([]int(nil), sent...)
+	if round < a.fireRound || a.fired {
+		return nil
+	}
+	best, bestSent := -1, 0
+	for v, s := range sent {
+		if s > bestSent {
+			best, bestSent = v, s
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	a.fired = true
+	a.picks = append(a.picks[:0], best)
+	return a.picks
+}
+
+// chatty broadcasts every round like recorder, but one designated node
+// sends double traffic — a stand-in for the emerging leader's extra load.
+type chatty struct {
+	recorder
+	busy bool
+}
+
+func (m *chatty) Step(ctx *Context, inbox []Packet) {
+	m.recorder.Step(ctx, inbox)
+	if m.busy && ctx.Round() < m.stopRound {
+		ctx.Broadcast(testMsg{v: 100 + ctx.Round(), bits: m.sendBits})
+	}
+}
+
+func chattyNet(g *graph.Graph, busy, stopRound int, s Scheduler, adv Adversary) *Network {
+	return New(Config{Graph: g, Seed: 1, Scheduler: s, Adversary: adv},
+		func(node, degree int, r *rng.RNG) Machine {
+			return &chatty{recorder: recorder{stopRound: stopRound, sendBits: 4}, busy: node == busy}
+		})
+}
+
+// TestAdaptiveCrashTargetsBusiestNode: the adaptive adversary sees the
+// true per-node send counts in node order, and its pick — the busiest
+// node — is crash-stopped at the start of the next round.
+func TestAdaptiveCrashTargetsBusiestNode(t *testing.T) {
+	g := graph.Cycle(8)
+	const busy = 3
+	adv := &testAdaptive{fireRound: 1}
+	nw := chattyNet(g, busy, 10, Sequential, adv)
+	nw.Run(20)
+
+	// Round 0 observation (observed[1]): every node broadcast once on its
+	// 2 ports, node 3 twice.
+	want := []int{2, 2, 2, 4, 2, 2, 2, 2}
+	if len(adv.observed) < 2 || !reflect.DeepEqual(adv.observed[1], want) {
+		t.Fatalf("round-0 traffic observation: got %v, want %v", adv.observed[1], want)
+	}
+	if !nw.Crashed(busy) {
+		t.Fatalf("busiest node %d was not crashed", busy)
+	}
+	for v := 0; v < g.N(); v++ {
+		if v != busy && nw.Crashed(v) {
+			t.Fatalf("node %d crashed; only %d should have", v, busy)
+		}
+	}
+	// Fired after routing round 1 → crash applies at the start of round 2:
+	// node 3 stepped rounds 0..1 only.
+	if got := nw.Machine(busy).(*chatty).rounds; got != 2 {
+		t.Fatalf("busy node stepped %d rounds, want 2", got)
+	}
+}
+
+// TestAdaptiveSchedulerIdentity: adaptive crashes are a pure function of
+// the observed traffic, which route() produces identically under every
+// scheduler — so the whole run is identical too.
+func TestAdaptiveSchedulerIdentity(t *testing.T) {
+	g := graph.Torus(4, 4)
+	type result struct {
+		obs     [][]int
+		crashed []bool
+		met     Metrics
+	}
+	run := func(s Scheduler) result {
+		adv := &testAdaptive{fireRound: 2}
+		nw := chattyNet(g, 5, 8, s, adv)
+		nw.Run(20)
+		crashed := make([]bool, g.N())
+		for v := range crashed {
+			crashed[v] = nw.Crashed(v)
+		}
+		return result{obs: adv.observed, crashed: crashed, met: nw.Metrics()}
+	}
+	base := run(Sequential)
+	for _, s := range []Scheduler{WorkerPool, Actors} {
+		got := run(s)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("scheduler %v diverges from sequential:\n%+v\nvs\n%+v", s, got, base)
+		}
+	}
+}
+
+// TestAdaptiveOverridesLaterStaticSchedule: a node scheduled to crash at
+// round 4 statically but picked by the adaptive adversary after round 0
+// dies at round 1 — the earlier of the two rounds wins, and the crash is
+// not double-counted when the static schedule comes due.
+func TestAdaptiveOverridesLaterStaticSchedule(t *testing.T) {
+	g := graph.Cycle(6)
+	const victim = 2
+	adv := &testAdaptive{fireRound: 0}
+	adv.crash = func(v int) int {
+		if v == victim {
+			return 4
+		}
+		return -1
+	}
+	nw := chattyNet(g, victim, 10, Sequential, adv)
+	nw.Run(20)
+	if !nw.Crashed(victim) {
+		t.Fatal("victim not crashed")
+	}
+	// Adaptive pick after round 0 → crash at the start of round 1: the
+	// victim steps round 0 only, three rounds before its static schedule.
+	if got := nw.Machine(victim).(*chatty).rounds; got != 1 {
+		t.Fatalf("victim stepped %d rounds, want 1 (adaptive round-1 crash should win)", got)
+	}
+	if nw.CrashedCount() != 1 {
+		t.Fatalf("CrashedCount = %d, want 1", nw.CrashedCount())
+	}
+}
+
+// TestNonAdaptiveAdversarySkipsTrafficFeed: a plain adversary never
+// allocates the sent buffer — the adaptive feed is strictly opt-in.
+func TestNonAdaptiveAdversarySkipsTrafficFeed(t *testing.T) {
+	g := graph.Cycle(4)
+	nw := recorderNetAdv(g, 3, Sequential, &testAdv{})
+	if nw.sent != nil || nw.adaptive != nil {
+		t.Fatal("non-adaptive adversary should not enable the traffic feed")
+	}
+}

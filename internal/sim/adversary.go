@@ -28,6 +28,44 @@ type Adversary interface {
 	MaxDelay() int
 }
 
+// TrafficAdaptive is an optional extension of Adversary for adaptive fault
+// policies. After every routed round the simulator feeds the adversary the
+// per-node send counts of that round and lets it name nodes to crash-stop
+// at the start of the next round — the classic adaptive adversary that
+// targets the busiest node (≈ the emerging leader) instead of committing
+// to a schedule up front.
+//
+// Determinism is preserved without any extra seed material: route() is
+// single-threaded and iterates nodes in index order under every scheduler,
+// so the observed counts — and therefore any pure function of them — are
+// byte-identical across Sequential, WorkerPool, and Actors.
+//
+// Adaptive crashes compose with a static CrashRound schedule: the earlier
+// of the two rounds wins, and already-crashed nodes are skipped.
+type TrafficAdaptive interface {
+	Adversary
+	// ObserveTraffic receives the send counts of the round just routed
+	// (sent[v] = packets node v sent this round; Init is round -1) and
+	// returns the nodes to crash at the start of round+1, or nil. The
+	// returned slice may be reused by the implementation; the simulator
+	// consumes it before the next call.
+	ObserveTraffic(round int, sent []int) []int
+}
+
+// observeTraffic feeds the round's send counts to the adaptive adversary
+// and schedules the returned victims to crash at the start of the next
+// round. An earlier existing schedule for a node wins.
+func (nw *Network) observeTraffic(round int) {
+	for _, v := range nw.adaptive.ObserveTraffic(round, nw.sent) {
+		if v < 0 || v >= len(nw.crashAt) || nw.crashed[v] {
+			continue
+		}
+		if at := nw.crashAt[v]; at < 0 || at > round+1 {
+			nw.crashAt[v] = round + 1
+		}
+	}
+}
+
 // futureDelivery is a packet held back by adversarial delay, parked until
 // its arrival round.
 type futureDelivery struct {

@@ -90,6 +90,8 @@ type Network struct {
 	crashed       []bool             // nodes crash-stopped so far
 	future        [][]futureDelivery // delay ring, indexed by arrival round mod len
 	pendingFuture int                // packets parked in the ring
+	adaptive      TrafficAdaptive    // non-nil when adv observes traffic
+	sent          []int              // per-node send counts of the routed round (adaptive only)
 }
 
 // chanLoad is the bit load of one (directed edge, channel) pair within one
@@ -190,6 +192,10 @@ func New(cfg Config, factory Factory) *Network {
 		nw.crashed = make([]bool, n)
 		for v := 0; v < n; v++ {
 			nw.crashAt[v] = nw.adv.CrashRound(v)
+		}
+		if ta, ok := nw.adv.(TrafficAdaptive); ok {
+			nw.adaptive = ta
+			nw.sent = make([]int, n)
 		}
 		// Ring size: while routing round r the live arrival rounds span
 		// [r+1, r+1+MaxDelay] (slot r was drained first) — MaxDelay+2
@@ -394,6 +400,9 @@ func (nw *Network) route(round int) {
 		if ctx.halted {
 			nw.halted[v] = true
 		}
+		if nw.adaptive != nil {
+			nw.sent[v] = len(ctx.out)
+		}
 		for _, s := range ctx.out {
 			w := nw.g.Neighbor(v, s.port)
 			e := nw.edgeOff[v] + s.port
@@ -430,6 +439,9 @@ func (nw *Network) route(round int) {
 		ctx.out = ctx.out[:0]
 	}
 	nw.inbox, nw.next = nw.next, nw.inbox
+	if nw.adaptive != nil {
+		nw.observeTraffic(round)
+	}
 }
 
 // addLinkBits accumulates bits on (directed edge e, channel) for this

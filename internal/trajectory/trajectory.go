@@ -39,12 +39,18 @@ type Key struct {
 	// reports as added/removed rather than a false cost regression.
 	// Schema v4.
 	ProfileMode string `json:"profile_mode,omitempty"`
+	// Scenario is the epoch scenario descriptor of a repeated-election
+	// cell ("" = classic single election, which is what every v1-v5 cell
+	// aligns as). A scenario cell's metrics are multi-epoch totals, so a
+	// scenario switch reports as added/removed rather than a false cost
+	// regression. Schema v6.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 func keyOf(c harness.ArtifactCell) Key {
 	return Key{Protocol: c.Protocol, Family: c.Family, N: c.N,
 		PresumedN: c.PresumedN, Adversary: c.Adversary,
-		ProfileMode: c.ProfileMode}
+		ProfileMode: c.ProfileMode, Scenario: c.Scenario}
 }
 
 // String renders the key the way the rendered tables name cells.
@@ -58,6 +64,9 @@ func (k Key) String() string {
 	}
 	if k.ProfileMode != "" {
 		s += fmt.Sprintf(" {%s}", k.ProfileMode)
+	}
+	if k.Scenario != "" {
+		s += fmt.Sprintf(" <%s>", k.Scenario)
 	}
 	return s
 }

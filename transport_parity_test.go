@@ -10,8 +10,8 @@ import (
 // TestTransportParity is the PR's acceptance criterion: for the same seed,
 // every real backend — including TCP sockets over localhost — must elect
 // the same leader in the same number of rounds with the same cost metrics
-// as the in-memory simulator, for both a baseline (floodmax) and a paper
-// protocol (ire).
+// as the in-memory simulator, for a baseline (floodmax) and both
+// round-bounded paper protocols (ire, walknotify).
 func TestTransportParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spins up full TCP clusters")
@@ -21,7 +21,7 @@ func TestTransportParity(t *testing.T) {
 		"rr16d4":  func(t *testing.T) *Network { return mustNetwork(t, "regular4", 16, 7) },
 	}
 	for nname, mk := range nets {
-		for _, protocol := range []string{ProtoFloodMax, ProtoIRE} {
+		for _, protocol := range []string{ProtoFloodMax, ProtoIRE, ProtoWalkNotify} {
 			nw := mk(t)
 			const seed = 12345
 			want, err := nw.Run(context.Background(), protocol, WithSeed(seed))
@@ -54,8 +54,9 @@ func TestTransportParity(t *testing.T) {
 }
 
 // TestTransportRevocableConvergence runs the open-ended revocable protocol
-// on the channel backend, exercising RunUntilContext's convergence-check
-// path through a real transport.
+// on every real backend, exercising RunUntilContext's convergence-check
+// path through real transports (including TCP framing of the revocation
+// certificates).
 func TestTransportRevocableConvergence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long revocable run")
@@ -67,17 +68,21 @@ func TestTransportRevocableConvergence(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sim: %v", err)
 	}
-	got, err := nw.Run(context.Background(), ProtoRevocable,
-		WithSeed(seed), WithIsoperimetric(iso), WithTransport(TransportChan))
-	if err != nil {
-		t.Fatalf("chan backend: %v", err)
-	}
-	if got.Rounds != want.Rounds || got.LeaderID != want.LeaderID {
-		t.Fatalf("revocable diverges: chan (leader %d, %d rounds) vs sim (leader %d, %d rounds)",
-			got.LeaderID, got.Rounds, want.LeaderID, want.Rounds)
-	}
-	if want.Certificate == nil || got.Certificate == nil || *got.Certificate != *want.Certificate {
-		t.Fatalf("certificates diverge: chan %+v vs sim %+v", got.Certificate, want.Certificate)
+	for _, backend := range []Transport{TransportChan, TransportPipe, TransportTCP} {
+		t.Run(backend.String(), func(t *testing.T) {
+			got, err := nw.Run(context.Background(), ProtoRevocable,
+				WithSeed(seed), WithIsoperimetric(iso), WithTransport(backend))
+			if err != nil {
+				t.Fatalf("%s backend: %v", backend, err)
+			}
+			if got.Rounds != want.Rounds || got.LeaderID != want.LeaderID {
+				t.Fatalf("revocable diverges: %s (leader %d, %d rounds) vs sim (leader %d, %d rounds)",
+					backend, got.LeaderID, got.Rounds, want.LeaderID, want.Rounds)
+			}
+			if want.Certificate == nil || got.Certificate == nil || *got.Certificate != *want.Certificate {
+				t.Fatalf("certificates diverge: %s %+v vs sim %+v", backend, got.Certificate, want.Certificate)
+			}
+		})
 	}
 }
 
